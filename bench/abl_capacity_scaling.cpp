@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Experiment S2 — Key Takeaway 3: "memory-capacity-proportional
+ * performance": PIM compute grows with memory capacity, so (1) PIM
+ * time stays flat as users grow below the system size, and (2)
+ * scaling data and DPUs together keeps time constant, while the CPU
+ * baseline degrades linearly.
+ */
+
+#include "bench_util.h"
+#include "pimhe/cost_model.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+using perf::OpKind;
+
+int
+main()
+{
+    printHeader("S2", "memory-capacity-proportional scaling",
+                "PIM time ~constant across user counts; CPU scales "
+                "linearly with users");
+
+    baselines::PlatformSuite suite;
+
+    std::cout << "-- users sweep at fixed system size (mean workload, "
+                 "128-bit) --\n";
+    Table t1({"users", "PIM (ms)", "CPU (ms)", "PIM growth",
+              "CPU growth"});
+    double pim_base = 0, cpu_base = 0, pim_flat_ratio = 0;
+    for (const std::size_t users : {320ul, 640ul, 1280ul, 2560ul}) {
+        workloads::WorkloadShape s;
+        s.users = users;
+        const double pim = workloads::meanTimeMs(suite.pim(), s);
+        const double cpu = workloads::meanTimeMs(suite.cpu(), s);
+        if (users == 320) {
+            pim_base = pim;
+            cpu_base = cpu;
+        }
+        pim_flat_ratio = pim / pim_base;
+        t1.addRow({std::to_string(users), Table::fmt(pim, 3),
+                   Table::fmt(cpu, 2),
+                   Table::fmtSpeedup(pim / pim_base),
+                   Table::fmtSpeedup(cpu / cpu_base)});
+    }
+    t1.print(std::cout);
+
+    std::cout << "\n-- scaling DPUs with data (vector add, per-DPU "
+                 "work fixed) --\n";
+    Table t2({"DPUs", "#elements", "PIM kernel (ms)"});
+    double first = 0, last = 0;
+    for (const std::size_t dpus : {631ul, 1262ul, 2524ul}) {
+        pim::SystemConfig cfg = pim::paperSystem();
+        cfg.numDpus = dpus;
+        PimCostModel model(cfg, 12);
+        const std::size_t elems = dpus * 4096;
+        const double ms =
+            model.elementwiseMs(OpKind::VecMul, 4, elems).computeMs;
+        if (dpus == 631)
+            first = ms;
+        last = ms;
+        t2.addRow({std::to_string(dpus), std::to_string(elems),
+                   Table::fmt(ms, 3)});
+    }
+    t2.print(std::cout);
+
+    std::cout << "\nband checks:\n";
+    printBandCheck("PIM growth 320 -> 2560 users (flat ~1x)",
+                   pim_flat_ratio, 0.5, 2.5);
+    printBandCheck("PIM time with DPUs scaled 4x alongside data",
+                   last / first, 0.95, 1.05);
+    return 0;
+}

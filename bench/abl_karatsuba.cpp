@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Experiment A1 — design-choice ablation: Karatsuba vs schoolbook
+ * wide multiplication (§3: the paper picks Karatsuba for 64- and
+ * 128-bit products because it "requires less operations").
+ *
+ * Two views:
+ *  - DPU instruction counts from the simulator (the metric that
+ *    matters on UPMEM hardware), printed as a table;
+ *  - measured host wall-clock of the WideInt reference algorithms via
+ *    google-benchmark, confirming the same crossover shape off-DPU.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bigint/wide_int.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "pim/wide_ops.h"
+
+namespace {
+
+using namespace pimhe;
+using namespace pimhe::pim;
+
+/** DPU instruction count of one multiply with the chosen algorithm. */
+template <std::size_t L>
+std::uint64_t
+dpuInstrCount(bool karatsuba)
+{
+    DpuConfig cfg;
+    Wram wram(cfg.wramBytes);
+    Mram mram(cfg.mramBytes);
+    TaskletStats stats;
+    TaskletCtx ctx(0, 1, cfg, wram, mram, stats);
+    Rng rng(7);
+    std::uint32_t a[8], b[8], out[16];
+    for (std::size_t i = 0; i < L; ++i) {
+        a[i] = rng.next32();
+        b[i] = rng.next32();
+    }
+    if (karatsuba)
+        dpuWideMulKaratsuba(ctx, a, b, out, L);
+    else
+        dpuWideMulSchoolbook(ctx, a, b, out, L);
+    benchmark::DoNotOptimize(out);
+    return stats.instructions;
+}
+
+void
+printDpuTable()
+{
+    std::cout << "=== A1: Karatsuba vs schoolbook wide multiply "
+                 "(DPU instruction counts) ===\n";
+    Table t({"width", "schoolbook instr", "karatsuba instr",
+             "karatsuba saving"});
+    const std::uint64_t s1 = dpuInstrCount<1>(false);
+    const std::uint64_t k1 = dpuInstrCount<1>(true);
+    const std::uint64_t s2 = dpuInstrCount<2>(false);
+    const std::uint64_t k2 = dpuInstrCount<2>(true);
+    const std::uint64_t s4 = dpuInstrCount<4>(false);
+    const std::uint64_t k4 = dpuInstrCount<4>(true);
+    t.addRow({"32-bit", std::to_string(s1), std::to_string(k1),
+              Table::fmtSpeedup(double(s1) / double(k1))});
+    t.addRow({"64-bit", std::to_string(s2), std::to_string(k2),
+              Table::fmtSpeedup(double(s2) / double(k2))});
+    t.addRow({"128-bit", std::to_string(s4), std::to_string(k4),
+              Table::fmtSpeedup(double(s4) / double(k4))});
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+template <std::size_t L>
+void
+BM_MulSchoolbook(benchmark::State &state)
+{
+    Rng rng(42);
+    WideInt<L> a, b;
+    for (std::size_t i = 0; i < L; ++i) {
+        a.setLimb(i, rng.next32());
+        b.setLimb(i, rng.next32());
+    }
+    for (auto _ : state) {
+        auto p = a.mulFull(b);
+        benchmark::DoNotOptimize(p);
+    }
+}
+
+template <std::size_t L>
+void
+BM_MulKaratsuba(benchmark::State &state)
+{
+    Rng rng(42);
+    WideInt<L> a, b;
+    for (std::size_t i = 0; i < L; ++i) {
+        a.setLimb(i, rng.next32());
+        b.setLimb(i, rng.next32());
+    }
+    for (auto _ : state) {
+        auto p = a.mulKaratsuba(b);
+        benchmark::DoNotOptimize(p);
+    }
+}
+
+BENCHMARK(BM_MulSchoolbook<2>);
+BENCHMARK(BM_MulKaratsuba<2>);
+BENCHMARK(BM_MulSchoolbook<4>);
+BENCHMARK(BM_MulKaratsuba<4>);
+BENCHMARK(BM_MulSchoolbook<8>);
+BENCHMARK(BM_MulKaratsuba<8>);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printDpuTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

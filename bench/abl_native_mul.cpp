@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment A2 — Key Takeaway 2's forward-looking claim: "future PIM
+ * systems with native 32-bit multiplication hardware could
+ * potentially outperform CPUs and GPUs." Re-runs the multiplication
+ * sweep with the DPU model's nativeMul32 ablation enabled.
+ */
+
+#include "bench_util.h"
+#include "pimhe/cost_model.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+using perf::OpKind;
+
+int
+main()
+{
+    printHeader("A2", "native 32-bit multiplier ablation",
+                "hypothetical gen2 DPUs close the multiplication gap "
+                "to GPU and beat the CPU baselines");
+
+    pim::SystemConfig gen2 = pim::paperSystem();
+    gen2.dpu.nativeMul32 = true;
+    PimCostModel pim_gen1;
+    PimCostModel pim_gen2(gen2, 12);
+    perf::SealModel seal;
+    perf::GpuModel gpu;
+
+    const std::size_t cts = 81920;
+    Table t({"width", "gen1 PIM (ms)", "gen2 PIM (ms)", "CPU-SEAL (ms)",
+             "GPU (ms)", "gen2 speedup", "gen2 vs SEAL",
+             "gen2 vs GPU"});
+    double gen2_beats_seal_128 = 0;
+    for (const std::size_t limbs : {1ul, 2ul, 4ul}) {
+        const std::size_t n = degreeFor(limbs);
+        const std::size_t elems = ctElems(cts, n);
+        const std::size_t units = cts * 2;
+        const double g1 =
+            pim_gen1.elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        const double g2 =
+            pim_gen2.elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        const double se =
+            seal.elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        const double gp =
+            gpu.elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        t.addRow({std::to_string(limbs * 32) + "-bit",
+                  Table::fmt(g1, 1), Table::fmt(g2, 2),
+                  Table::fmt(se, 1), Table::fmt(gp, 2),
+                  Table::fmtSpeedup(g1 / g2),
+                  Table::fmtSpeedup(se / g2),
+                  Table::fmtSpeedup(gp / g2)});
+        if (limbs == 4)
+            gen2_beats_seal_128 = se / g2;
+    }
+    t.print(std::cout);
+
+    std::cout << "\nband checks:\n";
+    printBandCheck("gen2 PIM faster than CPU-SEAL at 128-bit",
+                   gen2_beats_seal_128, 1.0, 1e6);
+    return 0;
+}

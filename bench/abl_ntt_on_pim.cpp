@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Experiment A3 — the paper's future work, measured: NTT-based
+ * polynomial products on the DPU vs the schoolbook convolution the
+ * paper shipped, on gen1 hardware and on the hypothetical gen2 with
+ * native 32-bit multipliers.
+ *
+ * For a 109-bit modulus the NTT path needs an RNS basis of eight
+ * 30-bit primes (exact products need > 2nq^2 ~ 2^231 of dynamic
+ * range), so the per-residue cycle count is multiplied by 8; the
+ * host-side CRT recombination is excluded on all paths, matching the
+ * other convolution models.
+ */
+
+#include "bench_util.h"
+#include "modular/mod64.h"
+#include "pim/dpu.h"
+#include "pimhe/cost_model.h"
+#include "pimhe/ntt_kernel.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+using namespace pimhe::pimhe_kernels;
+
+namespace {
+
+/** Cycles of one NTT product (one residue) at degree n. */
+double
+nttProductCycles(std::uint32_t n, bool native_mul)
+{
+    pim::DpuConfig cfg;
+    cfg.nativeMul32 = native_mul;
+    const std::uint32_t p = static_cast<std::uint32_t>(
+        findNttPrimes(30, 2 * n, 1)[0]);
+    auto kp = makeNttParams(p, n, 1);
+    pim::Dpu dpu(cfg);
+    std::vector<std::uint8_t> zeros(n * 4, 0);
+    dpu.mram().write(kp.mramPsi, zeros.data(), zeros.size());
+    dpu.mram().write(kp.mramPsiInv, zeros.data(), zeros.size());
+    dpu.mram().write(kp.mramA, zeros.data(), zeros.size());
+    dpu.mram().write(kp.mramB, zeros.data(), zeros.size());
+    return dpu.run(1, makeNttMulKernel(kp)).cycles;
+}
+
+/** Extrapolate cycles(n) = a n + b n log2(n) from two probes. */
+double
+nttCyclesAt(std::size_t n_target, bool native_mul)
+{
+    const double n1 = 64, n2 = 128;
+    const double c1 = nttProductCycles(64, native_mul);
+    const double c2 = nttProductCycles(128, native_mul);
+    // Solve c = a n + b n log2 n.
+    const double l1 = std::log2(n1), l2 = std::log2(n2);
+    const double b = (c2 / n2 - c1 / n1) / (l2 - l1);
+    const double a = c1 / n1 - b * l1;
+    const double nt = static_cast<double>(n_target);
+    return a * nt + b * nt * std::log2(nt);
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("A3", "NTT on PIM (the paper's future work)",
+                "expected: NTT makes PIM multiplication competitive "
+                "even before native multipliers");
+
+    const std::size_t n = 4096;
+    const std::size_t residues = 8; // 30-bit primes covering 2nq^2
+    const double clock_khz = 425e3;
+
+    // Per 128-bit polynomial product, per DPU.
+    const double school =
+        PimCostModel().convolutionMs(n, 4, 1).computeMs;
+    const double ntt_gen1 =
+        residues * nttCyclesAt(n, false) / clock_khz;
+    const double ntt_gen2 =
+        residues * nttCyclesAt(n, true) / clock_khz;
+
+    perf::SealModel seal;
+    const double seal_ms =
+        seal.convolutionMs(n, 4, 1).computeMs * 4.0; // single thread
+
+    Table t({"engine", "ms per 128-bit product (one DPU)",
+             "vs shipped kernel"});
+    t.addRow({"schoolbook conv (paper's gen1 kernel)",
+              Table::fmt(school, 1), "1.0x"});
+    t.addRow({"NTT on gen1 DPU (8 residues)",
+              Table::fmt(ntt_gen1, 1),
+              Table::fmtSpeedup(school / ntt_gen1)});
+    t.addRow({"NTT on gen2 DPU (native mul32)",
+              Table::fmt(ntt_gen2, 1),
+              Table::fmtSpeedup(school / ntt_gen2)});
+    t.addRow({"CPU-SEAL (one core, for scale)",
+              Table::fmt(seal_ms, 1),
+              Table::fmtSpeedup(school / seal_ms)});
+    t.print(std::cout);
+
+    std::cout << "\nband checks:\n";
+    printBandCheck("NTT speedup over schoolbook on gen1",
+                   school / ntt_gen1, 5, 10000);
+    printBandCheck("native-mul NTT speedup over gen1 NTT",
+                   ntt_gen1 / ntt_gen2, 2, 20);
+    return 0;
+}

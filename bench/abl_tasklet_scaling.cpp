@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Experiment S1 — §4.2 observation 1: "the performance of PIM
+ * implementations saturates at 11 or more PIM threads". Sweeps the
+ * tasklet count on the instrumented simulator for both kernels.
+ */
+
+#include "bench_util.h"
+#include "pimhe/cost_model.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+using perf::OpKind;
+
+int
+main()
+{
+    printHeader("S1", "tasklet scaling (per-DPU, 128-bit kernels)",
+                "throughput saturates at 11 or more tasklets");
+
+    pim::SystemConfig one;
+    one.numDpus = 1;
+    const std::size_t elems = 11 * 24 * 8; // divisible by all counts
+
+    Table t({"tasklets", "add cycles", "mul cycles", "add speedup",
+             "mul speedup"});
+    double add_base = 0, mul_base = 0;
+    double add_at_11 = 0, add_at_24 = 0;
+    for (const unsigned tasklets : {1u, 2u, 4u, 8u, 11u, 12u, 16u,
+                                    24u}) {
+        PimCostModel model(one, tasklets);
+        const double add =
+            model.simulateElementwiseCycles(OpKind::VecAdd, 4, elems);
+        const double mul =
+            model.simulateElementwiseCycles(OpKind::VecMul, 4, elems);
+        if (tasklets == 1) {
+            add_base = add;
+            mul_base = mul;
+        }
+        if (tasklets == 11)
+            add_at_11 = add;
+        if (tasklets == 24)
+            add_at_24 = add;
+        t.addRow({std::to_string(tasklets), Table::fmt(add, 0),
+                  Table::fmt(mul, 0),
+                  Table::fmtSpeedup(add_base / add),
+                  Table::fmtSpeedup(mul_base / mul)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nband checks:\n";
+    // Smaller WRAM chunks at 24 tasklets add a few extra DMA
+    // setups, so "flat" means within ~15%.
+    printBandCheck("add cycles at 24 vs 11 tasklets (flat ~1.0x)",
+                   add_at_11 / add_at_24, 0.85, 1.15);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ *
+ * Every bench prints (1) the execution-time series the corresponding
+ * paper figure plots, (2) the speedup ratios the paper quotes, and
+ * (3) a PASS/CHECK verdict against the paper's reported band so the
+ * reproduction status is visible at a glance (see EXPERIMENTS.md).
+ */
+
+#ifndef PIMHE_BENCH_BENCH_UTIL_H
+#define PIMHE_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+
+#include "baselines/engines.h"
+#include "common/table.h"
+#include "workloads/timing.h"
+
+namespace pimhe {
+namespace bench {
+
+/** Print a bench header with the experiment id and paper reference. */
+inline void
+printHeader(const std::string &exp_id, const std::string &title,
+            const std::string &paper_band)
+{
+    std::cout << "=== " << exp_id << ": " << title << " ===\n";
+    std::cout << "paper reports: " << paper_band << "\n\n";
+}
+
+/** Render one band check line. */
+inline void
+printBandCheck(const std::string &label, double value, double lo,
+               double hi)
+{
+    const bool inside = value >= lo && value <= hi;
+    std::cout << (inside ? "  [PASS] " : "  [CHECK] ") << label << " = "
+              << Table::fmtSpeedup(value) << " (paper band "
+              << Table::fmtSpeedup(lo) << " .. " << Table::fmtSpeedup(hi)
+              << ")\n";
+}
+
+/** Elements in one homomorphic ciphertext operation (2 polynomials). */
+inline std::size_t
+ctElems(std::size_t cts, std::size_t n)
+{
+    return cts * 2 * n;
+}
+
+/** Ring degree associated with a coefficient width. */
+inline std::size_t
+degreeFor(std::size_t limbs)
+{
+    return limbs == 1 ? 1024 : limbs == 2 ? 2048 : 4096;
+}
+
+} // namespace bench
+} // namespace pimhe
+
+#endif // PIMHE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment F1a — Figure 1(a): execution time of 128-bit ciphertext
+ * vector addition on CPU, PIM, CPU-SEAL and GPU for 20,480 to 327,680
+ * ciphertexts, plus the PIM-over-CPU speedup series the figure
+ * annotates.
+ */
+
+#include "bench_util.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+using perf::OpKind;
+
+int
+main()
+{
+    printHeader("F1a", "128-bit ciphertext vector addition",
+                "PIM beats CPU 20-150x (figure labels 50-100x), "
+                "CPU-SEAL 35-80x, GPU 2-15x");
+
+    baselines::PlatformSuite suite;
+    const std::size_t n = 4096;
+    const std::size_t limbs = 4;
+
+    Table t({"#ciphertexts", "CPU (ms)", "PIM (ms)", "CPU-SEAL (ms)",
+             "GPU (ms)", "PIM/CPU speedup"});
+    double min_cpu = 1e300, max_cpu = 0;
+    double min_seal = 1e300, max_seal = 0;
+    double min_gpu = 1e300, max_gpu = 0;
+    for (const std::size_t cts :
+         {20480ul, 40960ul, 81920ul, 163840ul, 327680ul}) {
+        const std::size_t elems = ctElems(cts, n);
+        const std::size_t units = cts * 2;
+        const double pim =
+            suite.pim()
+                .elementwiseMs(OpKind::VecAdd, limbs, elems, units)
+                .totalMs();
+        const double cpu =
+            suite.cpu()
+                .elementwiseMs(OpKind::VecAdd, limbs, elems, units)
+                .totalMs();
+        const double seal =
+            suite.seal()
+                .elementwiseMs(OpKind::VecAdd, limbs, elems, units)
+                .totalMs();
+        const double gpu =
+            suite.gpu()
+                .elementwiseMs(OpKind::VecAdd, limbs, elems, units)
+                .totalMs();
+        t.addRow({std::to_string(cts), Table::fmt(cpu, 2),
+                  Table::fmt(pim, 2), Table::fmt(seal, 2),
+                  Table::fmt(gpu, 2), Table::fmtSpeedup(cpu / pim)});
+        min_cpu = std::min(min_cpu, cpu / pim);
+        max_cpu = std::max(max_cpu, cpu / pim);
+        min_seal = std::min(min_seal, seal / pim);
+        max_seal = std::max(max_seal, seal / pim);
+        min_gpu = std::min(min_gpu, gpu / pim);
+        max_gpu = std::max(max_gpu, gpu / pim);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nband checks (across the sweep):\n";
+    printBandCheck("PIM/CPU min", min_cpu, 20, 150);
+    printBandCheck("PIM/CPU max", max_cpu, 20, 150);
+    printBandCheck("PIM/CPU-SEAL min", min_seal, 35, 80);
+    printBandCheck("PIM/CPU-SEAL max", max_seal, 35, 80);
+    printBandCheck("PIM/GPU min", min_gpu, 2, 15);
+    printBandCheck("PIM/GPU max", max_gpu, 2, 15);
+    return 0;
+}

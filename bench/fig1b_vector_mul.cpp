@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment F1b — Figure 1(b): execution time of 128-bit ciphertext
+ * vector multiplication on CPU, PIM, CPU-SEAL and GPU for 5,120 to
+ * 81,920 ciphertexts. The ordering flips relative to addition: the
+ * gen1 DPU's lack of a native 32-bit multiplier makes PIM lose to
+ * both the GPU and (at 64/128 bits) the NTT-based SEAL library.
+ */
+
+#include "bench_util.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+using perf::OpKind;
+
+int
+main()
+{
+    printHeader("F1b", "128-bit ciphertext vector multiplication",
+                "PIM beats CPU 40-50x; GPU is 12-15x faster than PIM; "
+                "CPU-SEAL is 2-4x faster than PIM at 64/128 bits");
+
+    baselines::PlatformSuite suite;
+    const std::size_t n = 4096;
+    const std::size_t limbs = 4;
+
+    Table t({"#ciphertexts", "CPU (ms)", "PIM (ms)", "CPU-SEAL (ms)",
+             "GPU (ms)", "PIM/CPU speedup"});
+    double cpu_ratio = 0, seal_ratio = 0, gpu_ratio = 0;
+    for (const std::size_t cts :
+         {5120ul, 10240ul, 20480ul, 40960ul, 81920ul}) {
+        const std::size_t elems = ctElems(cts, n);
+        const std::size_t units = cts * 2;
+        const double pim =
+            suite.pim()
+                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        const double cpu =
+            suite.cpu()
+                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        const double seal =
+            suite.seal()
+                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        const double gpu =
+            suite.gpu()
+                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        t.addRow({std::to_string(cts), Table::fmt(cpu, 1),
+                  Table::fmt(pim, 1), Table::fmt(seal, 1),
+                  Table::fmt(gpu, 1), Table::fmtSpeedup(cpu / pim)});
+        cpu_ratio = cpu / pim;
+        seal_ratio = pim / seal;
+        gpu_ratio = pim / gpu;
+    }
+    t.print(std::cout);
+
+    std::cout << "\nband checks (largest sweep point):\n";
+    printBandCheck("PIM/CPU", cpu_ratio, 40, 50);
+    printBandCheck("CPU-SEAL advantage over PIM", seal_ratio, 2, 4);
+    printBandCheck("GPU advantage over PIM", gpu_ratio, 12, 15);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment F2a — Figure 2(a): arithmetic mean over encrypted user
+ * values (homomorphic addition on the server, scalar division on the
+ * client) for 640 / 1280 / 2560 users at the 128-bit level.
+ */
+
+#include "bench_util.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+
+int
+main()
+{
+    printHeader("F2a", "arithmetic mean (640/1280/2560 users)",
+                "PIM beats CPU 25-100x, CPU-SEAL 11-50x, GPU 9-34x; "
+                "PIM time stays ~constant across user counts");
+
+    baselines::PlatformSuite suite;
+
+    Table t({"users", "CPU (ms)", "PIM (ms)", "CPU-SEAL (ms)",
+             "GPU (ms)", "PIM/CPU", "PIM/SEAL", "PIM/GPU"});
+    double pim_first = 0, pim_last = 0;
+    double lo[3] = {1e300, 1e300, 1e300};
+    double hi[3] = {0, 0, 0};
+    for (const std::size_t users : {640ul, 1280ul, 2560ul}) {
+        workloads::WorkloadShape s;
+        s.users = users;
+        const double pim = workloads::meanTimeMs(suite.pim(), s);
+        const double cpu = workloads::meanTimeMs(suite.cpu(), s);
+        const double seal = workloads::meanTimeMs(suite.seal(), s);
+        const double gpu = workloads::meanTimeMs(suite.gpu(), s);
+        t.addRow({std::to_string(users), Table::fmt(cpu, 2),
+                  Table::fmt(pim, 3), Table::fmt(seal, 2),
+                  Table::fmt(gpu, 2), Table::fmtSpeedup(cpu / pim),
+                  Table::fmtSpeedup(seal / pim),
+                  Table::fmtSpeedup(gpu / pim)});
+        const double r[3] = {cpu / pim, seal / pim, gpu / pim};
+        for (int i = 0; i < 3; ++i) {
+            lo[i] = std::min(lo[i], r[i]);
+            hi[i] = std::max(hi[i], r[i]);
+        }
+        if (users == 640)
+            pim_first = pim;
+        pim_last = pim;
+    }
+    t.print(std::cout);
+
+    std::cout << "\nband checks:\n";
+    printBandCheck("PIM/CPU min", lo[0], 25, 100);
+    printBandCheck("PIM/CPU max", hi[0], 25, 100);
+    printBandCheck("PIM/CPU-SEAL min", lo[1], 11, 50);
+    printBandCheck("PIM/CPU-SEAL max", hi[1], 11, 50);
+    printBandCheck("PIM/GPU min", lo[2], 9, 34);
+    printBandCheck("PIM/GPU max", hi[2], 9, 34);
+    printBandCheck("PIM flatness (t_2560 / t_640)",
+                   pim_last / pim_first, 0.5, 2.1);
+    return 0;
+}

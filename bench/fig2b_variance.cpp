@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Experiment F2b — Figure 2(b): variance over encrypted user values
+ * (one homomorphic square per user plus addition reductions) for
+ * 640 / 1280 / 2560 users at the 128-bit level. Multiplication-heavy,
+ * so PIM only beats the custom CPU.
+ */
+
+#include "bench_util.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+
+int
+main()
+{
+    printHeader("F2b", "variance (640/1280/2560 users)",
+                "PIM beats CPU 6-25x; CPU-SEAL is 2-10x and GPU "
+                "13-50x faster than PIM");
+
+    baselines::PlatformSuite suite;
+
+    Table t({"users", "CPU (ms)", "PIM (ms)", "CPU-SEAL (ms)",
+             "GPU (ms)", "PIM/CPU", "SEAL adv", "GPU adv"});
+    double lo[3] = {1e300, 1e300, 1e300};
+    double hi[3] = {0, 0, 0};
+    for (const std::size_t users : {640ul, 1280ul, 2560ul}) {
+        workloads::WorkloadShape s;
+        s.users = users;
+        const double pim = workloads::varianceTimeMs(suite.pim(), s);
+        const double cpu = workloads::varianceTimeMs(suite.cpu(), s);
+        const double seal = workloads::varianceTimeMs(suite.seal(), s);
+        const double gpu = workloads::varianceTimeMs(suite.gpu(), s);
+        t.addRow({std::to_string(users), Table::fmt(cpu, 0),
+                  Table::fmt(pim, 0), Table::fmt(seal, 0),
+                  Table::fmt(gpu, 0), Table::fmtSpeedup(cpu / pim),
+                  Table::fmtSpeedup(pim / seal),
+                  Table::fmtSpeedup(pim / gpu)});
+        const double r[3] = {cpu / pim, pim / seal, pim / gpu};
+        for (int i = 0; i < 3; ++i) {
+            lo[i] = std::min(lo[i], r[i]);
+            hi[i] = std::max(hi[i], r[i]);
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nband checks:\n";
+    printBandCheck("PIM/CPU min", lo[0], 6, 25);
+    printBandCheck("PIM/CPU max", hi[0], 6, 25);
+    printBandCheck("CPU-SEAL advantage min", lo[1], 2, 10);
+    printBandCheck("CPU-SEAL advantage max", hi[1], 2, 10);
+    printBandCheck("GPU advantage min", lo[2], 13, 50);
+    printBandCheck("GPU advantage max", hi[2], 13, 50);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Experiment F2c — Figure 2(c): linear regression over encrypted
+ * samples (3 features, normal equations) for 640 users with 32 and
+ * 64 ciphertexts per user at the 128-bit level.
+ */
+
+#include "bench_util.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+
+int
+main()
+{
+    printHeader("F2c",
+                "linear regression (640 users, 32/64 cts per user)",
+                "PIM beats CPU ~7.5x at 32 cts; at 64 cts CPU-SEAL is "
+                "~11.4x and GPU ~54.9x faster than PIM");
+
+    baselines::PlatformSuite suite;
+
+    Table t({"cts/user", "CPU (ms)", "PIM (ms)", "CPU-SEAL (ms)",
+             "GPU (ms)", "PIM/CPU", "SEAL adv", "GPU adv"});
+    double cpu32 = 0, seal64 = 0, gpu64 = 0;
+    for (const std::size_t cts_per_user : {32ul, 64ul}) {
+        workloads::WorkloadShape s;
+        s.users = 640;
+        s.ctsPerUser = cts_per_user;
+        const double pim = workloads::linregTimeMs(suite.pim(), s);
+        const double cpu = workloads::linregTimeMs(suite.cpu(), s);
+        const double seal = workloads::linregTimeMs(suite.seal(), s);
+        const double gpu = workloads::linregTimeMs(suite.gpu(), s);
+        t.addRow({std::to_string(cts_per_user), Table::fmt(cpu, 0),
+                  Table::fmt(pim, 0), Table::fmt(seal, 0),
+                  Table::fmt(gpu, 0), Table::fmtSpeedup(cpu / pim),
+                  Table::fmtSpeedup(pim / seal),
+                  Table::fmtSpeedup(pim / gpu)});
+        if (cts_per_user == 32)
+            cpu32 = cpu / pim;
+        if (cts_per_user == 64) {
+            seal64 = pim / seal;
+            gpu64 = pim / gpu;
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nband checks (paper quotes single values; +/-50% "
+                 "bands):\n";
+    printBandCheck("PIM/CPU at 32 cts (paper 7.5x)", cpu32, 3.75,
+                   11.25);
+    printBandCheck("CPU-SEAL advantage at 64 cts (paper 11.4x)",
+                   seal64, 5.7, 17.1);
+    printBandCheck("GPU advantage at 64 cts (paper 54.9x)", gpu64,
+                   27.0, 82.0);
+    return 0;
+}

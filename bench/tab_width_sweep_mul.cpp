@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Experiment T2 — §4.2 text: homomorphic multiplication across the
+ * three security levels. The paper's crossover: PIM beats CPU-SEAL by
+ * ~2x at 32 bits, but loses by 2-4x at 64/128 bits, and trails the
+ * GPU by 12-15x everywhere.
+ */
+
+#include "bench_util.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+using perf::OpKind;
+
+int
+main()
+{
+    printHeader("T2", "multiplication width sweep (32/64/128-bit)",
+                "PIM vs CPU 40-50x; vs CPU-SEAL: PIM ~2x faster at "
+                "32-bit, 2-4x slower at 64/128-bit; GPU 12-15x faster "
+                "than PIM");
+
+    baselines::PlatformSuite suite;
+    const std::size_t cts = 20480;
+
+    Table t({"width", "n", "CPU (ms)", "PIM (ms)", "CPU-SEAL (ms)",
+             "GPU (ms)", "PIM/CPU", "SEAL/PIM", "GPU adv"});
+    double seal_ratio_32 = 0, seal_adv_128 = 0;
+    double cpu_lo = 1e300, cpu_hi = 0;
+    double gpu_lo = 1e300, gpu_hi = 0;
+    for (const std::size_t limbs : {1ul, 2ul, 4ul}) {
+        const std::size_t n = degreeFor(limbs);
+        const std::size_t elems = ctElems(cts, n);
+        const std::size_t units = cts * 2;
+        const double pim =
+            suite.pim()
+                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        const double cpu =
+            suite.cpu()
+                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        const double seal =
+            suite.seal()
+                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        const double gpu =
+            suite.gpu()
+                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
+                .totalMs();
+        t.addRow({std::to_string(limbs * 32) + "-bit",
+                  std::to_string(n), Table::fmt(cpu, 1),
+                  Table::fmt(pim, 2), Table::fmt(seal, 1),
+                  Table::fmt(gpu, 2), Table::fmtSpeedup(cpu / pim),
+                  Table::fmtSpeedup(seal / pim),
+                  Table::fmtSpeedup(pim / gpu)});
+        if (limbs == 1)
+            seal_ratio_32 = seal / pim;
+        if (limbs == 4)
+            seal_adv_128 = pim / seal;
+        cpu_lo = std::min(cpu_lo, cpu / pim);
+        cpu_hi = std::max(cpu_hi, cpu / pim);
+        gpu_lo = std::min(gpu_lo, pim / gpu);
+        gpu_hi = std::max(gpu_hi, pim / gpu);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nband checks:\n";
+    printBandCheck("PIM/CPU min", cpu_lo, 20, 50);
+    printBandCheck("PIM/CPU max", cpu_hi, 40, 50);
+    printBandCheck("SEAL/PIM at 32-bit (paper ~2x)", seal_ratio_32,
+                   0.9, 3.0);
+    printBandCheck("SEAL advantage at 128-bit", seal_adv_128, 2, 4);
+    printBandCheck("GPU advantage min", gpu_lo, 9, 25);
+    printBandCheck("GPU advantage max", gpu_hi, 12, 25);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Drive the PIM simulator directly: run the vector add / multiply
+ * kernels at a chosen shape and print the full launch breakdown —
+ * handy for exploring the hardware model without the HE layers.
+ *
+ *   ./build/examples/pim_microbench --op mul --elems 4096 \
+ *       --limbs 4 --tasklets 12 --dpus 4
+ */
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "pimhe/cost_model.h"
+
+using namespace pimhe;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv,
+                 {"op", "elems", "limbs", "tasklets", "dpus",
+                  "native-mul"});
+    const std::string op_name = args.getString("op", "add");
+    const std::size_t elems =
+        static_cast<std::size_t>(args.getInt("elems", 8192));
+    const std::size_t limbs =
+        static_cast<std::size_t>(args.getInt("limbs", 4));
+    const unsigned tasklets =
+        static_cast<unsigned>(args.getInt("tasklets", 12));
+    const std::size_t dpus =
+        static_cast<std::size_t>(args.getInt("dpus", 2524));
+    const bool native_mul = args.getBool("native-mul", false);
+
+    if (limbs != 1 && limbs != 2 && limbs != 4)
+        fatal("--limbs must be 1, 2 or 4");
+    const perf::OpKind op = op_name == "mul" ? perf::OpKind::VecMul
+                                             : perf::OpKind::VecAdd;
+
+    pim::SystemConfig cfg = pim::paperSystem();
+    cfg.numDpus = std::max<std::size_t>(dpus, 1);
+    cfg.dpu.nativeMul32 = native_mul;
+    PimCostModel model(cfg, tasklets);
+
+    std::cout << "simulated UPMEM system: " << cfg.numDpus
+              << " DPUs @ " << cfg.dpu.clockMhz << " MHz, "
+              << tasklets << " tasklets"
+              << (native_mul ? ", native 32-bit multiplier" : "")
+              << "\n";
+    std::cout << "operation: " << (limbs * 32) << "-bit vector "
+              << op_name << " over " << elems << " elements\n\n";
+
+    // Exact per-DPU simulation for the single-DPU shape.
+    const std::size_t used = model.dpusUsed(elems);
+    const std::size_t per_dpu = (elems + used - 1) / used;
+    const double cycles =
+        model.simulateElementwiseCycles(op, limbs, per_dpu);
+
+    Table t({"metric", "value"});
+    t.addRow({"DPUs used", std::to_string(used)});
+    t.addRow({"elements per DPU", std::to_string(per_dpu)});
+    t.addRow({"simulated cycles per DPU", Table::fmt(cycles, 0)});
+    t.addRow({"instructions per element",
+              Table::fmt(cycles / static_cast<double>(per_dpu), 1)});
+    const auto b = model.elementwiseMs(op, limbs, elems);
+    t.addRow({"kernel time (ms)", Table::fmt(b.computeMs, 4)});
+    t.addRow({"launch overhead (ms)", Table::fmt(b.overheadMs, 4)});
+    const auto bt =
+        model.elementwiseWithTransfersMs(op, limbs, elems);
+    t.addRow({"with host staging (ms)", Table::fmt(bt.totalMs(), 4)});
+    t.print(std::cout);
+    return 0;
+}

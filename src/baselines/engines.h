@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Baseline engine factories and the four-platform model suite.
+ *
+ * Functional engines (which ExactConvolver a BfvContext multiplies
+ * through) and timing models (PlatformModel) are deliberately
+ * decoupled: every engine computes bit-identical results; only the
+ * modelled time differs.
+ */
+
+#ifndef PIMHE_BASELINES_ENGINES_H
+#define PIMHE_BASELINES_ENGINES_H
+
+#include <memory>
+#include <vector>
+
+#include "ntt/rns.h"
+#include "perf/models.h"
+#include "pimhe/cost_model.h"
+#include "pimhe/orchestrator.h"
+
+namespace pimhe {
+namespace baselines {
+
+/** Functional multiplication engines available to a BfvContext. */
+enum class EngineKind
+{
+    CpuSchoolbook, //!< the paper's custom CPU implementation style
+    CpuSealLike,   //!< RNS + NTT (mini-SEAL)
+    PimSystem,     //!< simulated UPMEM DPUs (kernels in src/pimhe)
+};
+
+/** Build the convolver implementing an engine kind. */
+template <std::size_t N>
+std::unique_ptr<ExactConvolver<N>>
+makeConvolver(EngineKind kind, const RingContext<N> &ring,
+              const pim::SystemConfig &cfg = pim::paperSystem(),
+              unsigned tasklets = 12)
+{
+    switch (kind) {
+      case EngineKind::CpuSchoolbook:
+        return std::make_unique<SchoolbookConvolver<N>>(ring);
+      case EngineKind::CpuSealLike:
+        return std::make_unique<RnsNttConvolver<N>>(ring);
+      case EngineKind::PimSystem:
+        return std::make_unique<PimConvolver<N>>(ring, cfg, tasklets);
+    }
+    panic("unknown engine kind");
+}
+
+/**
+ * The four platforms the paper compares, as timing models, in the
+ * order the figures list them: CPU, PIM, CPU-SEAL, GPU.
+ */
+class PlatformSuite
+{
+  public:
+    explicit
+    PlatformSuite(pim::SystemConfig cfg = pim::paperSystem(),
+                  unsigned tasklets = 12)
+        : pim_(cfg, tasklets)
+    {}
+
+    const perf::CpuModel &cpu() const { return cpu_; }
+    const PimCostModel &pim() const { return pim_; }
+    const perf::SealModel &seal() const { return seal_; }
+    const perf::GpuModel &gpu() const { return gpu_; }
+
+    /** All models in figure order (CPU, PIM, CPU-SEAL, GPU). */
+    std::vector<const perf::PlatformModel *>
+    all() const
+    {
+        return {&cpu_, &pim_, &seal_, &gpu_};
+    }
+
+  private:
+    perf::CpuModel cpu_;
+    PimCostModel pim_;
+    perf::SealModel seal_;
+    perf::GpuModel gpu_;
+};
+
+} // namespace baselines
+} // namespace pimhe
+
+#endif // PIMHE_BASELINES_ENGINES_H

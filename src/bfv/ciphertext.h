@@ -1,0 +1,131 @@
+/**
+ * @file
+ * BFV plaintext and ciphertext containers plus the integer encoder.
+ */
+
+#ifndef PIMHE_BFV_CIPHERTEXT_H
+#define PIMHE_BFV_CIPHERTEXT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bfv/context.h"
+
+namespace pimhe {
+
+/**
+ * Plaintext: a polynomial with coefficients reduced modulo the
+ * plaintext modulus t (stored as plain 64-bit values since t < 2^32).
+ */
+struct Plaintext
+{
+    std::vector<std::uint64_t> coeffs;
+
+    explicit Plaintext(std::size_t n = 0) : coeffs(n) {}
+
+    std::size_t size() const { return coeffs.size(); }
+
+    bool
+    operator==(const Plaintext &other) const
+    {
+        return coeffs == other.coeffs;
+    }
+};
+
+/**
+ * Ciphertext: 2 components after encryption, 3 after an
+ * unrelinearised multiplication.
+ */
+template <std::size_t N>
+struct Ciphertext
+{
+    std::vector<Polynomial<N>> comps;
+
+    std::size_t size() const { return comps.size(); }
+
+    const Polynomial<N> &operator[](std::size_t i) const
+    { return comps[i]; }
+    Polynomial<N> &operator[](std::size_t i) { return comps[i]; }
+};
+
+/**
+ * Encodes integers into plaintext polynomials.
+ *
+ * Two packings are supported, matching how the statistical workloads
+ * use them:
+ *  - scalar: the value sits in coefficient 0 (survives both
+ *    homomorphic addition and multiplication);
+ *  - batch ("coefficient packing"): one value per coefficient, giving
+ *    SIMD behaviour under addition (used by the arithmetic-mean
+ *    workload to aggregate many users per ciphertext).
+ */
+class IntegerEncoder
+{
+  public:
+    /**
+     * @param t Plaintext modulus.
+     * @param n Ring degree.
+     */
+    IntegerEncoder(std::uint64_t t, std::size_t n) : t_(t), n_(n) {}
+
+    std::uint64_t plainModulus() const { return t_; }
+
+    /** Encode one non-negative integer into coefficient 0. */
+    Plaintext
+    encodeScalar(std::uint64_t value) const
+    {
+        Plaintext pt(n_);
+        pt.coeffs[0] = value % t_;
+        return pt;
+    }
+
+    /** Decode coefficient 0. */
+    std::uint64_t
+    decodeScalar(const Plaintext &pt) const
+    {
+        return pt.coeffs.empty() ? 0 : pt.coeffs[0] % t_;
+    }
+
+    /** Encode up to n values, one per coefficient. */
+    Plaintext
+    encodeBatch(const std::vector<std::uint64_t> &values) const
+    {
+        PIMHE_ASSERT(values.size() <= n_,
+                     "too many values for ring degree ", n_);
+        Plaintext pt(n_);
+        for (std::size_t i = 0; i < values.size(); ++i)
+            pt.coeffs[i] = values[i] % t_;
+        return pt;
+    }
+
+    /** Decode the first `count` coefficients. */
+    std::vector<std::uint64_t>
+    decodeBatch(const Plaintext &pt, std::size_t count) const
+    {
+        PIMHE_ASSERT(count <= pt.size(), "decode count exceeds size");
+        return {pt.coeffs.begin(),
+                pt.coeffs.begin() + static_cast<std::ptrdiff_t>(count)};
+    }
+
+    /**
+     * Interpret a decoded coefficient as a signed value in
+     * [-t/2, t/2) — handy for workloads that subtract means.
+     */
+    std::int64_t
+    toSigned(std::uint64_t coeff) const
+    {
+        const std::uint64_t c = coeff % t_;
+        if (c > t_ / 2)
+            return static_cast<std::int64_t>(c) -
+                   static_cast<std::int64_t>(t_);
+        return static_cast<std::int64_t>(c);
+    }
+
+  private:
+    std::uint64_t t_;
+    std::size_t n_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_BFV_CIPHERTEXT_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared BFV context: parameters plus derived ring machinery.
+ */
+
+#ifndef PIMHE_BFV_CONTEXT_H
+#define PIMHE_BFV_CONTEXT_H
+
+#include <memory>
+
+#include "bfv/params.h"
+#include "poly/convolver.h"
+#include "poly/ring.h"
+
+namespace pimhe {
+
+/**
+ * Owns everything derived from a BfvParams set: the ring context, the
+ * plaintext scaling factor and the exact-convolution engine used for
+ * homomorphic multiplication.
+ *
+ * The convolver defaults to schoolbook (the algorithm the paper runs on
+ * PIM threads); callers may install an RnsNttConvolver to model the
+ * SEAL-like baseline.
+ */
+template <std::size_t N>
+class BfvContext
+{
+  public:
+    using Coeff = WideInt<N>;
+    using Poly = Polynomial<N>;
+
+    explicit
+    BfvContext(BfvParams<N> params)
+        : params_(params), ring_(params.n, params.q),
+          delta_(params.delta()),
+          convolver_(std::make_unique<SchoolbookConvolver<N>>(ring_))
+    {
+        params_.validate();
+    }
+
+    const BfvParams<N> &params() const { return params_; }
+    const RingContext<N> &ring() const { return ring_; }
+    const Coeff &delta() const { return delta_; }
+    std::uint64_t plainModulus() const { return params_.t; }
+
+    /** Replace the multiplication engine (e.g. with RNS+NTT). */
+    void
+    setConvolver(std::unique_ptr<ExactConvolver<N>> conv)
+    {
+        PIMHE_ASSERT(conv != nullptr, "null convolver");
+        convolver_ = std::move(conv);
+    }
+
+    const ExactConvolver<N> &convolver() const { return *convolver_; }
+
+    /**
+     * Negacyclic product in R_q through the installed convolver.
+     * Identical to ring().mulSchoolbook() but benefits from an NTT
+     * engine when one is installed.
+     */
+    Poly
+    mulModQ(const Poly &a, const Poly &b) const
+    {
+        const auto tensor = convolver_->convolveCentered(a, b);
+        const U256 q_wide = ring_.modulus().template convert<8>();
+        Poly out(ring_.degree());
+        for (std::size_t i = 0; i < tensor.size(); ++i) {
+            const bool neg = signed256::isNegative(tensor[i]);
+            const U256 mag = signed256::magnitude(tensor[i]);
+            const U256 r = mod(mag, q_wide);
+            const Coeff rr = r.convert<N>();
+            out[i] = neg ? ring_.reducer().negMod(rr) : rr;
+        }
+        return out;
+    }
+
+  private:
+    BfvParams<N> params_;
+    RingContext<N> ring_;
+    Coeff delta_;
+    std::unique_ptr<ExactConvolver<N>> convolver_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_BFV_CONTEXT_H

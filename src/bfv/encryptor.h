@@ -1,0 +1,151 @@
+/**
+ * @file
+ * BFV encryption and decryption.
+ *
+ * In the paper's deployment model these run on the client; the server
+ * (the PIM system) only ever sees ciphertexts.
+ */
+
+#ifndef PIMHE_BFV_ENCRYPTOR_H
+#define PIMHE_BFV_ENCRYPTOR_H
+
+#include "bfv/ciphertext.h"
+#include "bfv/keys.h"
+
+namespace pimhe {
+
+/** Public-key BFV encryptor. */
+template <std::size_t N>
+class Encryptor
+{
+  public:
+    Encryptor(const BfvContext<N> &ctx, PublicKey<N> pk, Rng &rng)
+        : ctx_(ctx), pk_(std::move(pk)), rng_(rng)
+    {}
+
+    /**
+     * Encrypt a plaintext: ct = (p0 u + e1 + Delta m, p1 u + e2).
+     */
+    Ciphertext<N>
+    encrypt(const Plaintext &pt) const
+    {
+        const auto &ring = ctx_.ring();
+        PIMHE_ASSERT(pt.size() == ring.degree(),
+                     "plaintext degree mismatch");
+
+        const auto u = ring.sampleTernary(rng_);
+        const auto e1 = ring.sampleNoise(rng_, ctx_.params().noiseEta);
+        const auto e2 = ring.sampleNoise(rng_, ctx_.params().noiseEta);
+
+        // Delta * m, coefficientwise.
+        Polynomial<N> dm(ring.degree());
+        for (std::size_t i = 0; i < ring.degree(); ++i) {
+            dm[i] = ring.reducer().mulMod(
+                ctx_.delta(),
+                WideInt<N>(pt.coeffs[i] % ctx_.plainModulus()));
+        }
+
+        Ciphertext<N> ct;
+        ct.comps.push_back(ring.add(
+            ring.add(ctx_.mulModQ(pk_.p0, u), e1), dm));
+        ct.comps.push_back(
+            ring.add(ctx_.mulModQ(pk_.p1, u), e2));
+        return ct;
+    }
+
+  private:
+    const BfvContext<N> &ctx_;
+    PublicKey<N> pk_;
+    Rng &rng_;
+};
+
+/** Secret-key BFV decryptor with noise introspection. */
+template <std::size_t N>
+class Decryptor
+{
+  public:
+    Decryptor(const BfvContext<N> &ctx, SecretKey<N> sk)
+        : ctx_(ctx), sk_(std::move(sk))
+    {}
+
+    /**
+     * Decrypt a 2- or 3-component ciphertext:
+     * m = round(t/q * (c0 + c1 s + c2 s^2)) mod t.
+     */
+    Plaintext
+    decrypt(const Ciphertext<N> &ct) const
+    {
+        const auto v = noisyMessage(ct);
+        const auto &ring = ctx_.ring();
+        const auto q = ring.modulus();
+        const std::uint64_t t = ctx_.plainModulus();
+
+        Plaintext pt(ring.degree());
+        // For each coefficient: m = round(t * v / q) mod t, computed
+        // over the integers with 2N-limb intermediates.
+        using Wide = WideInt<2 * N>;
+        const Wide q_wide = q.template convert<2 * N>();
+        const Wide half_q = q_wide.shr(1);
+        for (std::size_t i = 0; i < ring.degree(); ++i) {
+            const Wide tv = v[i].mulFull(WideInt<N>(t));
+            const Wide quot = divmod(tv + half_q, q_wide).first;
+            // quot <= t here, so the low 64 bits hold the full value.
+            pt.coeffs[i] = quot.toUint64() % t;
+        }
+        return pt;
+    }
+
+    /**
+     * Invariant noise budget in bits, as SEAL reports it: the number
+     * of bits of headroom before decryption starts failing. Negative
+     * means the ciphertext is already undecryptable.
+     */
+    double
+    noiseBudgetBits(const Ciphertext<N> &ct,
+                    const Plaintext &expected) const
+    {
+        const auto &ring = ctx_.ring();
+        const auto v = noisyMessage(ct);
+        // noise = v - Delta*m  (centred); budget =
+        // log2(q / (2 * |noise|)).
+        WideInt<N> max_mag;
+        for (std::size_t i = 0; i < ring.degree(); ++i) {
+            const auto dm = ring.reducer().mulMod(
+                ctx_.delta(),
+                WideInt<N>(expected.coeffs[i] % ctx_.plainModulus()));
+            const auto diff = ring.reducer().subMod(v[i], dm);
+            const auto [mag, neg] = ring.toCentered(diff);
+            (void)neg;
+            if (mag > max_mag)
+                max_mag = mag;
+        }
+        const double q_bits =
+            static_cast<double>(ring.modulus().bitLength());
+        const double noise_bits =
+            static_cast<double>(max_mag.bitLength());
+        return q_bits - 1.0 - noise_bits;
+    }
+
+  private:
+    /** c0 + c1 s (+ c2 s^2) mod q. */
+    Polynomial<N>
+    noisyMessage(const Ciphertext<N> &ct) const
+    {
+        const auto &ring = ctx_.ring();
+        PIMHE_ASSERT(ct.size() == 2 || ct.size() == 3,
+                     "unsupported ciphertext size ", ct.size());
+        auto v = ring.add(ct[0], ctx_.mulModQ(ct[1], sk_.s));
+        if (ct.size() == 3) {
+            const auto s2 = ctx_.mulModQ(sk_.s, sk_.s);
+            v = ring.add(v, ctx_.mulModQ(ct[2], s2));
+        }
+        return v;
+    }
+
+    const BfvContext<N> &ctx_;
+    SecretKey<N> sk_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_BFV_ENCRYPTOR_H

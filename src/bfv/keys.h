@@ -1,0 +1,113 @@
+/**
+ * @file
+ * BFV key material: secret, public and relinearisation keys.
+ */
+
+#ifndef PIMHE_BFV_KEYS_H
+#define PIMHE_BFV_KEYS_H
+
+#include <vector>
+
+#include "bfv/context.h"
+#include "common/rng.h"
+
+namespace pimhe {
+
+/** Secret key: a ternary polynomial s. */
+template <std::size_t N>
+struct SecretKey
+{
+    Polynomial<N> s;
+};
+
+/** Public key: (p0, p1) = (-(a s + e), a). */
+template <std::size_t N>
+struct PublicKey
+{
+    Polynomial<N> p0;
+    Polynomial<N> p1;
+};
+
+/**
+ * Relinearisation key (BFV "version 1"): for every digit position i of
+ * the base-2^w decomposition, the pair
+ * (-(a_i s + e_i) + w^i s^2, a_i).
+ */
+template <std::size_t N>
+struct RelinKey
+{
+    std::size_t baseBits = 0;
+    std::vector<std::pair<Polynomial<N>, Polynomial<N>>> digits;
+
+    bool empty() const { return digits.empty(); }
+};
+
+/**
+ * Generates all key material from a context and an Rng. Key generation
+ * stays on the client in the paper's deployment model; only evaluation
+ * keys ever reach the PIM server.
+ */
+template <std::size_t N>
+class KeyGenerator
+{
+  public:
+    KeyGenerator(const BfvContext<N> &ctx, Rng &rng)
+        : ctx_(ctx), rng_(rng), secret_{ctx.ring().sampleTernary(rng)}
+    {}
+
+    const SecretKey<N> &secretKey() const { return secret_; }
+
+    /** Fresh public key for the stored secret. */
+    PublicKey<N>
+    makePublicKey()
+    {
+        const auto &ring = ctx_.ring();
+        const auto a = ring.sampleUniform(rng_);
+        const auto e = ring.sampleNoise(rng_, ctx_.params().noiseEta);
+        // p0 = -(a*s + e)
+        auto p0 = ring.negate(
+            ring.add(ctx_.mulModQ(a, secret_.s), e));
+        return PublicKey<N>{std::move(p0), a};
+    }
+
+    /**
+     * Relinearisation key with the context's digit width.
+     *
+     * The number of digits covers the full bit length of q.
+     */
+    RelinKey<N>
+    makeRelinKey()
+    {
+        const auto &ring = ctx_.ring();
+        const std::size_t w = ctx_.params().relinBaseBits;
+        const std::size_t k = ctx_.params().q.bitLength();
+        const std::size_t num_digits = (k + w - 1) / w;
+
+        const auto s2 = ctx_.mulModQ(secret_.s, secret_.s);
+
+        RelinKey<N> rlk;
+        rlk.baseBits = w;
+        for (std::size_t i = 0; i < num_digits; ++i) {
+            const auto a = ring.sampleUniform(rng_);
+            const auto e = ring.sampleNoise(rng_, ctx_.params().noiseEta);
+            // b = -(a*s + e) + 2^(w*i) * s^2
+            auto b = ring.negate(
+                ring.add(ctx_.mulModQ(a, secret_.s), e));
+            // w * i <= k - 1 < numBits, so the shift is always valid
+            // and 2^(w*i) < q is already reduced.
+            const auto factor = WideInt<N>::oneShl(w * i);
+            b = ring.add(b, ring.scalarMul(s2, factor));
+            rlk.digits.emplace_back(std::move(b), a);
+        }
+        return rlk;
+    }
+
+  private:
+    const BfvContext<N> &ctx_;
+    Rng &rng_;
+    SecretKey<N> secret_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_BFV_KEYS_H

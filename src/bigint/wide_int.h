@@ -1,0 +1,640 @@
+/**
+ * @file
+ * Fixed-width multi-precision unsigned integers over 32-bit limbs.
+ *
+ * The paper represents 27-, 54- and 109-bit BFV coefficients with 32-,
+ * 64- and 128-bit integers built from the UPMEM DPU's native 32-bit
+ * add/addc instructions, with Karatsuba multiplication over 32-bit
+ * chunks. WideInt is the host-side reference for exactly that limb
+ * discipline: all arithmetic is expressed with 32-bit limbs and 64-bit
+ * accumulators, mirroring what the DPU kernels in src/pimhe do through
+ * the simulator's intrinsics API.
+ *
+ * Limbs are stored little-endian (limb 0 is least significant).
+ */
+
+#ifndef PIMHE_BIGINT_WIDE_INT_H
+#define PIMHE_BIGINT_WIDE_INT_H
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace pimhe {
+
+/**
+ * Unsigned integer with N 32-bit limbs (N * 32 bits total).
+ *
+ * Arithmetic wraps modulo 2^(32N) like the built-in unsigned types.
+ * Widening multiplication (mulFull / mulKaratsuba) returns the exact
+ * 2N-limb product.
+ */
+template <std::size_t N>
+class WideInt
+{
+    static_assert(N >= 1, "WideInt needs at least one limb");
+
+  public:
+    static constexpr std::size_t numLimbs = N;
+    static constexpr std::size_t numBits = N * 32;
+
+    /** Zero-initialized value. */
+    constexpr WideInt() : limbs_{} {}
+
+    /** Construct from an unsigned 64-bit value (zero-extended). */
+    constexpr
+    WideInt(std::uint64_t v)
+        : limbs_{}
+    {
+        limbs_[0] = static_cast<std::uint32_t>(v);
+        if constexpr (N > 1)
+            limbs_[1] = static_cast<std::uint32_t>(v >> 32);
+        else
+            PIMHE_ASSERT(v >> 32 == 0,
+                         "value does not fit in one limb");
+    }
+
+    /** All limbs set (the maximum representable value). */
+    static constexpr WideInt
+    maxValue()
+    {
+        WideInt r;
+        for (auto &l : r.limbs_)
+            l = 0xFFFFFFFFu;
+        return r;
+    }
+
+    /** Value with only bit `pos` set. */
+    static constexpr WideInt
+    oneShl(std::size_t pos)
+    {
+        PIMHE_ASSERT(pos < numBits, "bit position out of range");
+        WideInt r;
+        r.limbs_[pos / 32] = 1u << (pos % 32);
+        return r;
+    }
+
+    /** Access limb i (0 = least significant). */
+    constexpr std::uint32_t
+    limb(std::size_t i) const
+    {
+        return i < N ? limbs_[i] : 0;
+    }
+
+    /** Set limb i. */
+    constexpr void
+    setLimb(std::size_t i, std::uint32_t v)
+    {
+        PIMHE_ASSERT(i < N, "limb index out of range");
+        limbs_[i] = v;
+    }
+
+    /** Truncating conversion to uint64_t (low 64 bits). */
+    constexpr std::uint64_t
+    toUint64() const
+    {
+        std::uint64_t v = limbs_[0];
+        if constexpr (N > 1)
+            v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+        return v;
+    }
+
+    /** True when the value fits in 64 bits. */
+    constexpr bool
+    fitsUint64() const
+    {
+        for (std::size_t i = 2; i < N; ++i)
+            if (limbs_[i] != 0)
+                return false;
+        return true;
+    }
+
+    constexpr bool
+    isZero() const
+    {
+        for (auto l : limbs_)
+            if (l != 0)
+                return false;
+        return true;
+    }
+
+    /** Test bit `pos`. */
+    constexpr bool
+    bit(std::size_t pos) const
+    {
+        if (pos >= numBits)
+            return false;
+        return (limbs_[pos / 32] >> (pos % 32)) & 1u;
+    }
+
+    /** Number of significant bits (0 for the value zero). */
+    constexpr std::size_t
+    bitLength() const
+    {
+        for (std::size_t i = N; i-- > 0;) {
+            if (limbs_[i] != 0) {
+                std::size_t b = 32;
+                std::uint32_t v = limbs_[i];
+                while (!(v & 0x80000000u)) {
+                    v <<= 1;
+                    --b;
+                }
+                return i * 32 + b;
+            }
+        }
+        return 0;
+    }
+
+    // ----- addition / subtraction (wrapping) -----
+
+    /**
+     * this += other, returning the final carry-out. This is the
+     * add/addc chain the paper builds 64- and 128-bit addition from.
+     */
+    constexpr std::uint32_t
+    addInPlace(const WideInt &other)
+    {
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < N; ++i) {
+            const std::uint64_t s = static_cast<std::uint64_t>(limbs_[i]) +
+                                    other.limbs_[i] + carry;
+            limbs_[i] = static_cast<std::uint32_t>(s);
+            carry = s >> 32;
+        }
+        return static_cast<std::uint32_t>(carry);
+    }
+
+    /** this -= other, returning the final borrow-out (0 or 1). */
+    constexpr std::uint32_t
+    subInPlace(const WideInt &other)
+    {
+        std::uint64_t borrow = 0;
+        for (std::size_t i = 0; i < N; ++i) {
+            const std::uint64_t d = static_cast<std::uint64_t>(limbs_[i]) -
+                                    other.limbs_[i] - borrow;
+            limbs_[i] = static_cast<std::uint32_t>(d);
+            borrow = (d >> 32) & 1;
+        }
+        return static_cast<std::uint32_t>(borrow);
+    }
+
+    friend constexpr WideInt
+    operator+(WideInt a, const WideInt &b)
+    {
+        a.addInPlace(b);
+        return a;
+    }
+
+    friend constexpr WideInt
+    operator-(WideInt a, const WideInt &b)
+    {
+        a.subInPlace(b);
+        return a;
+    }
+
+    constexpr WideInt &
+    operator+=(const WideInt &b)
+    {
+        addInPlace(b);
+        return *this;
+    }
+
+    constexpr WideInt &
+    operator-=(const WideInt &b)
+    {
+        subInPlace(b);
+        return *this;
+    }
+
+    // ----- comparison -----
+
+    friend constexpr bool
+    operator==(const WideInt &a, const WideInt &b)
+    {
+        return a.limbs_ == b.limbs_;
+    }
+
+    friend constexpr std::strong_ordering
+    operator<=>(const WideInt &a, const WideInt &b)
+    {
+        for (std::size_t i = N; i-- > 0;) {
+            if (a.limbs_[i] != b.limbs_[i])
+                return a.limbs_[i] <=> b.limbs_[i];
+        }
+        return std::strong_ordering::equal;
+    }
+
+    // ----- bitwise / shifts -----
+
+    friend constexpr WideInt
+    operator&(WideInt a, const WideInt &b)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            a.limbs_[i] &= b.limbs_[i];
+        return a;
+    }
+
+    friend constexpr WideInt
+    operator|(WideInt a, const WideInt &b)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            a.limbs_[i] |= b.limbs_[i];
+        return a;
+    }
+
+    friend constexpr WideInt
+    operator^(WideInt a, const WideInt &b)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            a.limbs_[i] ^= b.limbs_[i];
+        return a;
+    }
+
+    /** Logical left shift by an arbitrary bit count (wrapping). */
+    constexpr WideInt
+    shl(std::size_t bits) const
+    {
+        if (bits >= numBits)
+            return WideInt();
+        WideInt r;
+        const std::size_t limb_shift = bits / 32;
+        const std::size_t bit_shift = bits % 32;
+        for (std::size_t i = N; i-- > limb_shift;) {
+            std::uint32_t v = limbs_[i - limb_shift] << bit_shift;
+            if (bit_shift && i - limb_shift > 0)
+                v |= limbs_[i - limb_shift - 1] >> (32 - bit_shift);
+            r.limbs_[i] = v;
+        }
+        return r;
+    }
+
+    /** Logical right shift by an arbitrary bit count. */
+    constexpr WideInt
+    shr(std::size_t bits) const
+    {
+        if (bits >= numBits)
+            return WideInt();
+        WideInt r;
+        const std::size_t limb_shift = bits / 32;
+        const std::size_t bit_shift = bits % 32;
+        for (std::size_t i = 0; i + limb_shift < N; ++i) {
+            std::uint32_t v = limbs_[i + limb_shift] >> bit_shift;
+            if (bit_shift && i + limb_shift + 1 < N)
+                v |= limbs_[i + limb_shift + 1] << (32 - bit_shift);
+            r.limbs_[i] = v;
+        }
+        return r;
+    }
+
+    friend constexpr WideInt
+    operator<<(const WideInt &a, std::size_t bits)
+    {
+        return a.shl(bits);
+    }
+
+    friend constexpr WideInt
+    operator>>(const WideInt &a, std::size_t bits)
+    {
+        return a.shr(bits);
+    }
+
+    // ----- width conversion -----
+
+    /** Zero-extend or truncate to M limbs. */
+    template <std::size_t M>
+    constexpr WideInt<M>
+    convert() const
+    {
+        WideInt<M> r;
+        for (std::size_t i = 0; i < std::min(M, N); ++i)
+            r.setLimb(i, limbs_[i]);
+        return r;
+    }
+
+    // ----- multiplication -----
+
+    /**
+     * Exact 2N-limb product via schoolbook multiplication. This is the
+     * reference against which mulKaratsuba is property-tested.
+     */
+    constexpr WideInt<2 * N>
+    mulFull(const WideInt &other) const
+    {
+        WideInt<2 * N> r;
+        for (std::size_t i = 0; i < N; ++i) {
+            std::uint64_t carry = 0;
+            for (std::size_t j = 0; j < N; ++j) {
+                const std::uint64_t cur =
+                    static_cast<std::uint64_t>(r.limb(i + j)) +
+                    static_cast<std::uint64_t>(limbs_[i]) *
+                        other.limbs_[j] +
+                    carry;
+                r.setLimb(i + j, static_cast<std::uint32_t>(cur));
+                carry = cur >> 32;
+            }
+            std::size_t k = i + N;
+            while (carry != 0 && k < 2 * N) {
+                const std::uint64_t cur =
+                    static_cast<std::uint64_t>(r.limb(k)) + carry;
+                r.setLimb(k, static_cast<std::uint32_t>(cur));
+                carry = cur >> 32;
+                ++k;
+            }
+        }
+        return r;
+    }
+
+    /**
+     * Exact 2N-limb product via the Karatsuba algorithm, as the paper
+     * uses for 64- and 128-bit DPU multiplication. Requires N to be a
+     * power of two; single-limb base case is the native 32x32->64
+     * multiply.
+     */
+    constexpr WideInt<2 * N>
+    mulKaratsuba(const WideInt &other) const
+    {
+        static_assert((N & (N - 1)) == 0,
+                      "Karatsuba split requires power-of-two limbs");
+        if constexpr (N == 1) {
+            const std::uint64_t p =
+                static_cast<std::uint64_t>(limbs_[0]) * other.limbs_[0];
+            WideInt<2> r;
+            r.setLimb(0, static_cast<std::uint32_t>(p));
+            r.setLimb(1, static_cast<std::uint32_t>(p >> 32));
+            return r;
+        } else {
+            constexpr std::size_t H = N / 2;
+            const WideInt<H> a_lo = lowHalf<H>();
+            const WideInt<H> a_hi = highHalf<H>();
+            const WideInt<H> b_lo = other.template lowHalf<H>();
+            const WideInt<H> b_hi = other.template highHalf<H>();
+
+            const WideInt<N> z0 = a_lo.mulKaratsuba(b_lo);
+            const WideInt<N> z2 = a_hi.mulKaratsuba(b_hi);
+
+            // (a_lo + a_hi) and (b_lo + b_hi) may carry out of H limbs;
+            // track the carries explicitly and patch the cross product.
+            WideInt<H> sa = a_lo;
+            const std::uint32_t ca = sa.addInPlace(a_hi);
+            WideInt<H> sb = b_lo;
+            const std::uint32_t cb = sb.addInPlace(b_hi);
+
+            // z1 = sa*sb + (ca ? sb << 32H : 0) + (cb ? sa << 32H : 0)
+            //      + (ca && cb ? 1 << 64H : 0), held in 2N limbs.
+            WideInt<2 * N> z1 =
+                sa.mulKaratsuba(sb).template convert<2 * N>();
+            if (ca)
+                z1 += sb.template convert<2 * N>().shl(H * 32);
+            if (cb)
+                z1 += sa.template convert<2 * N>().shl(H * 32);
+            if (ca && cb)
+                z1 += WideInt<2 * N>::oneShl(2 * H * 32);
+
+            z1 -= z0.template convert<2 * N>();
+            z1 -= z2.template convert<2 * N>();
+
+            WideInt<2 * N> r = z0.template convert<2 * N>();
+            r += z1.shl(H * 32);
+            r += z2.template convert<2 * N>().shl(N * 32);
+            return r;
+        }
+    }
+
+    /** Wrapping N-limb product (low half of mulFull). */
+    friend constexpr WideInt
+    operator*(const WideInt &a, const WideInt &b)
+    {
+        return a.mulFull(b).template convert<N>();
+    }
+
+    /** Low H limbs as a narrower WideInt. */
+    template <std::size_t H>
+    constexpr WideInt<H>
+    lowHalf() const
+    {
+        static_assert(H <= N);
+        WideInt<H> r;
+        for (std::size_t i = 0; i < H; ++i)
+            r.setLimb(i, limbs_[i]);
+        return r;
+    }
+
+    /** High H limbs as a narrower WideInt. */
+    template <std::size_t H>
+    constexpr WideInt<H>
+    highHalf() const
+    {
+        static_assert(H <= N);
+        WideInt<H> r;
+        for (std::size_t i = 0; i < H; ++i)
+            r.setLimb(i, limbs_[N - H + i]);
+        return r;
+    }
+
+    // ----- division -----
+
+    /**
+     * Divide by a single 32-bit limb.
+     *
+     * @return pair of (quotient, remainder).
+     */
+    constexpr std::pair<WideInt, std::uint32_t>
+    divmodSmall(std::uint32_t divisor) const
+    {
+        PIMHE_ASSERT(divisor != 0, "division by zero");
+        WideInt q;
+        std::uint64_t rem = 0;
+        for (std::size_t i = N; i-- > 0;) {
+            const std::uint64_t cur = (rem << 32) | limbs_[i];
+            q.limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+            rem = cur % divisor;
+        }
+        return {q, static_cast<std::uint32_t>(rem)};
+    }
+
+    // ----- string I/O -----
+
+    /** Hexadecimal rendering with a 0x prefix, no leading zeros. */
+    std::string
+    toHexString() const
+    {
+        static const char *digits = "0123456789abcdef";
+        std::string out;
+        bool started = false;
+        for (std::size_t i = N; i-- > 0;) {
+            for (int nib = 7; nib >= 0; --nib) {
+                const unsigned d = (limbs_[i] >> (nib * 4)) & 0xF;
+                if (d != 0)
+                    started = true;
+                if (started)
+                    out.push_back(digits[d]);
+            }
+        }
+        if (!started)
+            out = "0";
+        return "0x" + out;
+    }
+
+    /** Decimal rendering. */
+    std::string
+    toDecimalString() const
+    {
+        if (isZero())
+            return "0";
+        std::string out;
+        WideInt v = *this;
+        while (!v.isZero()) {
+            auto [q, r] = v.divmodSmall(10);
+            out.push_back(static_cast<char>('0' + r));
+            v = q;
+        }
+        return std::string(out.rbegin(), out.rend());
+    }
+
+    /** Parse a decimal string. Overflow wraps (by design of WideInt). */
+    static WideInt
+    fromDecimalString(std::string_view s)
+    {
+        PIMHE_ASSERT(!s.empty(), "empty decimal string");
+        WideInt v;
+        for (const char c : s) {
+            PIMHE_ASSERT(c >= '0' && c <= '9',
+                         "bad decimal digit '", c, "'");
+            v = v * WideInt(10u) + WideInt(
+                    static_cast<std::uint64_t>(c - '0'));
+        }
+        return v;
+    }
+
+  private:
+    std::array<std::uint32_t, N> limbs_;
+};
+
+using U32 = WideInt<1>;
+using U64 = WideInt<2>;
+using U128 = WideInt<4>;
+using U256 = WideInt<8>;
+
+/**
+ * General multi-limb division (Knuth Algorithm D).
+ *
+ * @param u Dividend.
+ * @param v Divisor (must be nonzero).
+ * @return pair of (quotient, remainder) with u == q*v + r, r < v.
+ */
+template <std::size_t N>
+std::pair<WideInt<N>, WideInt<N>>
+divmod(const WideInt<N> &u, const WideInt<N> &v)
+{
+    PIMHE_ASSERT(!v.isZero(), "division by zero");
+    if (u < v)
+        return {WideInt<N>(), u};
+
+    // Count significant divisor limbs.
+    std::size_t n = N;
+    while (n > 0 && v.limb(n - 1) == 0)
+        --n;
+
+    if (n == 1) {
+        auto [q, r] = u.divmodSmall(v.limb(0));
+        return {q, WideInt<N>(static_cast<std::uint64_t>(r))};
+    }
+
+    // Normalize so the divisor's top limb has its high bit set.
+    std::size_t shift = 0;
+    std::uint32_t top = v.limb(n - 1);
+    while (!(top & 0x80000000u)) {
+        top <<= 1;
+        ++shift;
+    }
+
+    // un has one extra limb to hold the shifted-out bits of u.
+    std::array<std::uint32_t, N + 1> un{};
+    {
+        const WideInt<N> us = u.shl(shift);
+        for (std::size_t i = 0; i < N; ++i)
+            un[i] = us.limb(i);
+        un[N] = shift == 0
+                    ? 0
+                    : static_cast<std::uint32_t>(
+                          static_cast<std::uint64_t>(u.limb(N - 1)) >>
+                          (32 - shift));
+    }
+    const WideInt<N> vs = v.shl(shift);
+
+    std::size_t m = N;
+    while (m > n && un[m] == 0 && un[m - 1] == 0)
+        --m;
+    // Quotient has at most m - n + 1 limbs.
+
+    WideInt<N> q;
+    const std::uint64_t base = 1ULL << 32;
+    for (std::size_t j = m - n + 1; j-- > 0;) {
+        // Estimate quotient digit from the top two dividend limbs.
+        const std::uint64_t num =
+            (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+        std::uint64_t qhat = num / vs.limb(n - 1);
+        std::uint64_t rhat = num % vs.limb(n - 1);
+        while (qhat >= base ||
+               qhat * vs.limb(n - 2) > ((rhat << 32) | un[j + n - 2])) {
+            --qhat;
+            rhat += vs.limb(n - 1);
+            if (rhat >= base)
+                break;
+        }
+
+        // Multiply-and-subtract qhat * v from un[j .. j+n].
+        std::int64_t borrow = 0;
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t p = qhat * vs.limb(i) + carry;
+            carry = p >> 32;
+            const std::int64_t t =
+                static_cast<std::int64_t>(un[i + j]) -
+                static_cast<std::int64_t>(p & 0xFFFFFFFFu) - borrow;
+            un[i + j] = static_cast<std::uint32_t>(t);
+            borrow = t < 0 ? 1 : 0;
+        }
+        const std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                               static_cast<std::int64_t>(carry) - borrow;
+        un[j + n] = static_cast<std::uint32_t>(t);
+
+        if (t < 0) {
+            // qhat was one too large: add the divisor back.
+            --qhat;
+            std::uint64_t c = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t s =
+                    static_cast<std::uint64_t>(un[i + j]) + vs.limb(i) + c;
+                un[i + j] = static_cast<std::uint32_t>(s);
+                c = s >> 32;
+            }
+            un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+        }
+        q.setLimb(j, static_cast<std::uint32_t>(qhat));
+    }
+
+    // Denormalize the remainder.
+    WideInt<N> r;
+    for (std::size_t i = 0; i < n && i < N; ++i)
+        r.setLimb(i, un[i]);
+    r = r.shr(shift);
+    return {q, r};
+}
+
+/** u mod v convenience wrapper over divmod(). */
+template <std::size_t N>
+WideInt<N>
+mod(const WideInt<N> &u, const WideInt<N> &v)
+{
+    return divmod(u, v).second;
+}
+
+} // namespace pimhe
+
+#endif // PIMHE_BIGINT_WIDE_INT_H

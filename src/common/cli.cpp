@@ -1,0 +1,87 @@
+#include "cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "logging.h"
+
+namespace pimhe {
+
+CliArgs::CliArgs(int argc, char **argv, std::vector<std::string> known)
+{
+    auto is_known = [&](const std::string &name) {
+        return std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string name;
+        std::string value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            // "--name value" form: consume the next token if it is not
+            // itself a flag.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        if (!is_known(name))
+            fatal("unknown flag --", name);
+        values_[name] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &name, const std::string &def) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+CliArgs::getInt(const std::string &name, std::int64_t def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double
+CliArgs::getDouble(const std::string &name, double def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return it->second == "true" || it->second == "1" ||
+           it->second == "yes";
+}
+
+} // namespace pimhe

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal command-line flag parser for examples and benches.
+ *
+ * Supports flags of the form "--name=value" and "--name value" plus
+ * boolean switches "--name". Unknown flags are fatal so typos surface
+ * immediately.
+ */
+
+#ifndef PIMHE_COMMON_CLI_H
+#define PIMHE_COMMON_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pimhe {
+
+/** Parsed command-line options with typed accessors and defaults. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv.
+     *
+     * @param known Names (without "--") accepted by the program;
+     *              anything else triggers fatal().
+     */
+    CliArgs(int argc, char **argv, std::vector<std::string> known);
+
+    /** True when the flag was present at all. */
+    bool has(const std::string &name) const;
+
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+    double getDouble(const std::string &name, double def) const;
+    bool getBool(const std::string &name, bool def) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    { return positional_; }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_COMMON_CLI_H

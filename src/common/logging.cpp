@@ -1,0 +1,39 @@
+#include "logging.h"
+
+namespace pimhe {
+namespace detail {
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg;
+    if (file && *file)
+        std::cerr << " (" << file << ":" << line << ")";
+    std::cerr << std::endl;
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg;
+    if (file && *file)
+        std::cerr << " (" << file << ":" << line << ")";
+    std::cerr << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace pimhe

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (aborts, may dump core); fatal() is for user error (clean
+ * exit with an error code); warn()/inform() report conditions without
+ * stopping execution.
+ */
+
+#ifndef PIMHE_COMMON_LOGGING_H
+#define PIMHE_COMMON_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace pimhe {
+
+namespace detail {
+
+/** Stream a pack of arguments into one string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort with a message. Use for conditions that indicate a bug in the
+ * library itself, never for user input errors.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl("", 0,
+                      detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Exit with a message. Use for unrecoverable conditions caused by user
+ * input (bad parameters, impossible configurations).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl("", 0,
+                      detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** panic() unless the given condition holds. */
+#define PIMHE_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::pimhe::panic("assertion failed: ", #cond, " — ",             \
+                           ::pimhe::detail::concatMessage(__VA_ARGS__),    \
+                           " (", __FILE__, ":", __LINE__, ")");            \
+        }                                                                  \
+    } while (0)
+
+} // namespace pimhe
+
+#endif // PIMHE_COMMON_LOGGING_H

@@ -1,0 +1,108 @@
+#include "rng.h"
+
+#include <bit>
+
+namespace pimhe {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : state_)
+        s = splitmix64(x);
+    // Avoid the all-zero state, which xoshiro cannot leave.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 1;
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::uniform(std::uint64_t bound)
+{
+    if (bound == 0)
+        return next64();
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (l < threshold) {
+            x = next64();
+            m = static_cast<unsigned __int128>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::uniformRange(std::int64_t lo, std::int64_t hi)
+{
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+int
+Rng::ternary()
+{
+    return static_cast<int>(uniform(3)) - 1;
+}
+
+int
+Rng::centeredBinomial(int eta)
+{
+    int acc = 0;
+    for (int i = 0; i < eta; ++i) {
+        const std::uint64_t bits = next64();
+        acc += static_cast<int>(bits & 1);
+        acc -= static_cast<int>((bits >> 1) & 1);
+    }
+    return acc;
+}
+
+std::vector<std::uint64_t>
+Rng::uniformVector(std::size_t n, std::uint64_t bound)
+{
+    std::vector<std::uint64_t> out(n);
+    for (auto &v : out)
+        v = uniform(bound);
+    return out;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next64() ^ 0xA5A5A5A5A5A5A5A5ULL);
+}
+
+} // namespace pimhe

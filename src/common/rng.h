@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Implements xoshiro256** 1.0 (Blackman & Vigna). All randomness in the
+ * library flows through Rng so that experiments are reproducible from a
+ * single seed.
+ */
+
+#ifndef PIMHE_COMMON_RNG_H
+#define PIMHE_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pimhe {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws for the
+ * distributions the library needs (uniform integers, ternary values,
+ * centred binomial noise).
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next64();
+
+    /** Next raw 32-bit output (upper half of next64). */
+    std::uint32_t next32() { return static_cast<std::uint32_t>(
+            next64() >> 32); }
+
+    /** Uniform value in [0, bound) using Lemire rejection. */
+    std::uint64_t uniform(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform element of {-1, 0, 1}, as used for BFV secret keys. */
+    int ternary();
+
+    /**
+     * Sample from a centred binomial distribution with parameter eta
+     * (approximates the discrete Gaussian used for BFV noise).
+     *
+     * @param eta Half-width parameter; the result lies in [-eta, eta].
+     */
+    int centeredBinomial(int eta);
+
+    /** Fill a vector with uniform draws below bound. */
+    std::vector<std::uint64_t> uniformVector(std::size_t n,
+                                             std::uint64_t bound);
+
+    /** Jump-free stream split: derive an independent generator. */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_COMMON_RNG_H

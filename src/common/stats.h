@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers shared by tests and benches.
+ */
+
+#ifndef PIMHE_COMMON_STATS_H
+#define PIMHE_COMMON_STATS_H
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "logging.h"
+
+namespace pimhe {
+
+/** Arithmetic mean of a sample. */
+inline double
+mean(std::span<const double> xs)
+{
+    PIMHE_ASSERT(!xs.empty(), "mean of empty sample");
+    double acc = 0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+/** Population variance of a sample. */
+inline double
+variance(std::span<const double> xs)
+{
+    const double m = mean(xs);
+    double acc = 0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+}
+
+/** Population standard deviation. */
+inline double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+/** Geometric mean (all inputs must be positive). */
+inline double
+geomean(std::span<const double> xs)
+{
+    PIMHE_ASSERT(!xs.empty(), "geomean of empty sample");
+    double acc = 0;
+    for (double x : xs) {
+        PIMHE_ASSERT(x > 0, "geomean needs positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace pimhe
+
+#endif // PIMHE_COMMON_STATS_H

@@ -1,0 +1,70 @@
+#include "table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "logging.h"
+
+namespace pimhe {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    PIMHE_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    PIMHE_ASSERT(cells.size() == header_.size(),
+                 "row width ", cells.size(), " != header width ",
+                 header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::fmtSpeedup(double ratio)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(ratio >= 10 ? 1 : 2) << ratio
+       << "x";
+    return os.str();
+}
+
+} // namespace pimhe

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Aligned plain-text table printer used by the benchmark harnesses to
+ * emit paper-style result rows.
+ */
+
+#ifndef PIMHE_COMMON_TABLE_H
+#define PIMHE_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pimhe {
+
+/**
+ * Collects rows of string cells and prints them with columns aligned.
+ *
+ * Usage:
+ * @code
+ *   Table t({"n", "CPU (ms)", "PIM (ms)", "speedup"});
+ *   t.addRow({"1024", "12.5", "0.42", "29.8x"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one data row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with padded columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Format a speedup ratio such as "12.3x" or "0.08x". */
+    static std::string fmtSpeedup(double ratio);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_COMMON_TABLE_H

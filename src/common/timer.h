@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock timing helper for host-side measurements.
+ */
+
+#ifndef PIMHE_COMMON_TIMER_H
+#define PIMHE_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace pimhe {
+
+/** Simple steady-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double elapsedMs() const { return elapsedSeconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_COMMON_TIMER_H

@@ -1,0 +1,132 @@
+#include "mod64.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace pimhe {
+
+std::uint64_t
+mulMod64(std::uint64_t a, std::uint64_t b, std::uint64_t m)
+{
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t
+powMod64(std::uint64_t base, std::uint64_t exp, std::uint64_t m)
+{
+    PIMHE_ASSERT(m != 0, "zero modulus");
+    std::uint64_t result = 1 % m;
+    base %= m;
+    while (exp > 0) {
+        if (exp & 1)
+            result = mulMod64(result, base, m);
+        base = mulMod64(base, base, m);
+        exp >>= 1;
+    }
+    return result;
+}
+
+std::uint64_t
+invMod64(std::uint64_t a, std::uint64_t m)
+{
+    // Extended Euclid on signed 128-bit to avoid overflow.
+    __int128 t = 0, new_t = 1;
+    __int128 r = m, new_r = a % m;
+    while (new_r != 0) {
+        const __int128 q = r / new_r;
+        const __int128 tmp_t = t - q * new_t;
+        t = new_t;
+        new_t = tmp_t;
+        const __int128 tmp_r = r - q * new_r;
+        r = new_r;
+        new_r = tmp_r;
+    }
+    PIMHE_ASSERT(r == 1, "value not invertible modulo m");
+    if (t < 0)
+        t += m;
+    return static_cast<std::uint64_t>(t);
+}
+
+bool
+isPrime64(std::uint64_t n)
+{
+    if (n < 2)
+        return false;
+    for (const std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL,
+                                  17ULL, 19ULL, 23ULL, 29ULL, 31ULL,
+                                  37ULL}) {
+        if (n % p == 0)
+            return n == p;
+    }
+
+    std::uint64_t d = n - 1;
+    int s = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++s;
+    }
+
+    // This witness set is deterministic for all 64-bit integers
+    // (Sinclair, 2011).
+    for (const std::uint64_t a : {2ULL, 325ULL, 9375ULL, 28178ULL,
+                                  450775ULL, 9780504ULL,
+                                  1795265022ULL}) {
+        std::uint64_t x = powMod64(a % n, d, n);
+        if (x == 0 || x == 1 || x == n - 1)
+            continue;
+        bool composite = true;
+        for (int i = 1; i < s; ++i) {
+            x = mulMod64(x, x, n);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::uint64_t>
+findNttPrimes(int bits, std::uint64_t modulus_step, std::size_t count)
+{
+    PIMHE_ASSERT(bits >= 2 && bits <= 62, "bad prime bit length ", bits);
+    PIMHE_ASSERT(modulus_step > 0, "bad step");
+    std::vector<std::uint64_t> primes;
+    // Start just below 2^bits and walk down in steps that preserve
+    // p == 1 (mod modulus_step).
+    const std::uint64_t top = 1ULL << bits;
+    // Largest candidate below 2^bits with candidate == 1 (mod step).
+    std::uint64_t candidate = ((top - 2) / modulus_step) * modulus_step + 1;
+    for (; candidate > (1ULL << (bits - 1)) && primes.size() < count;
+         candidate -= modulus_step) {
+        if (isPrime64(candidate))
+            primes.push_back(candidate);
+    }
+    PIMHE_ASSERT(primes.size() == count,
+                 "could not find ", count, " NTT primes of ", bits,
+                 " bits with step ", modulus_step);
+    return primes;
+}
+
+std::uint64_t
+primitiveRoot(std::uint64_t p, std::uint64_t order)
+{
+    PIMHE_ASSERT((p - 1) % order == 0, "order does not divide p-1");
+    PIMHE_ASSERT(order >= 2 && (order & (order - 1)) == 0,
+                 "only power-of-two orders are supported");
+    // For power-of-two order, r = g^((p-1)/order) has order exactly
+    // `order` iff r^(order/2) == -1 (mod p). Walk small bases until one
+    // works; density of suitable bases is ~1/2.
+    for (std::uint64_t g = 2; g < p; ++g) {
+        const std::uint64_t r = powMod64(g, (p - 1) / order, p);
+        if (r != 0 && powMod64(r, order / 2, p) == p - 1)
+            return r;
+    }
+    panic("no primitive root found for p=", p);
+}
+
+} // namespace pimhe

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Modular arithmetic on 64-bit residues.
+ *
+ * These helpers back the NTT engine (which works over word-sized
+ * NTT-friendly primes) and the parameter generation in src/bfv.
+ */
+
+#ifndef PIMHE_MODULAR_MOD64_H
+#define PIMHE_MODULAR_MOD64_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pimhe {
+
+/** (a * b) mod m computed without overflow. */
+std::uint64_t mulMod64(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/** (a + b) mod m; operands must already be reduced. */
+inline std::uint64_t
+addMod64(std::uint64_t a, std::uint64_t b, std::uint64_t m)
+{
+    const std::uint64_t s = a + b;
+    return (s >= m || s < a) ? s - m : s;
+}
+
+/** (a - b) mod m; operands must already be reduced. */
+inline std::uint64_t
+subMod64(std::uint64_t a, std::uint64_t b, std::uint64_t m)
+{
+    return a >= b ? a - b : a + (m - b);
+}
+
+/** (base ^ exp) mod m via square-and-multiply. */
+std::uint64_t powMod64(std::uint64_t base, std::uint64_t exp,
+                       std::uint64_t m);
+
+/** Multiplicative inverse of a modulo m (m prime or gcd(a,m)=1). */
+std::uint64_t invMod64(std::uint64_t a, std::uint64_t m);
+
+/** Deterministic Miller-Rabin primality test for 64-bit integers. */
+bool isPrime64(std::uint64_t n);
+
+/**
+ * Find `count` distinct primes p with the given bit length satisfying
+ * p == 1 (mod modulus_step). Used to build NTT-friendly RNS bases
+ * (modulus_step = 2n enables the negacyclic NTT).
+ */
+std::vector<std::uint64_t> findNttPrimes(int bits,
+                                         std::uint64_t modulus_step,
+                                         std::size_t count);
+
+/**
+ * Find a generator of the multiplicative group mod prime p, then derive
+ * a primitive `order`-th root of unity from it.
+ *
+ * @param p Prime with order | p-1.
+ */
+std::uint64_t primitiveRoot(std::uint64_t p, std::uint64_t order);
+
+} // namespace pimhe
+
+#endif // PIMHE_MODULAR_MOD64_H

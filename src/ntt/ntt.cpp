@@ -1,0 +1,114 @@
+#include "ntt.h"
+
+#include "common/logging.h"
+#include "modular/mod64.h"
+
+namespace pimhe {
+
+namespace {
+
+std::size_t
+bitReverse(std::size_t x, int bits)
+{
+    std::size_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+} // namespace
+
+NttTable::NttTable(std::uint64_t p, std::size_t n)
+    : p_(p), n_(n)
+{
+    PIMHE_ASSERT(n >= 2 && (n & (n - 1)) == 0,
+                 "NTT length must be a power of two");
+    PIMHE_ASSERT(p < (1ULL << 62), "prime too wide for mulMod64 path");
+    PIMHE_ASSERT((p - 1) % (2 * n) == 0,
+                 "prime does not support negacyclic NTT of length ", n);
+
+    const std::uint64_t psi = primitiveRoot(p, 2 * n);
+    const std::uint64_t psi_inv = invMod64(psi, p);
+
+    int log_n = 0;
+    while ((1ULL << log_n) < n)
+        ++log_n;
+
+    psiRev_.resize(n);
+    psiInvRev_.resize(n);
+    std::uint64_t power = 1;
+    std::uint64_t power_inv = 1;
+    std::vector<std::uint64_t> psi_pow(n), psi_inv_pow(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        psi_pow[i] = power;
+        psi_inv_pow[i] = power_inv;
+        power = mulMod64(power, psi, p);
+        power_inv = mulMod64(power_inv, psi_inv, p);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        psiRev_[i] = psi_pow[bitReverse(i, log_n)];
+        psiInvRev_[i] = psi_inv_pow[bitReverse(i, log_n)];
+    }
+
+    nInv_ = invMod64(n, p);
+}
+
+void
+NttTable::forward(std::vector<std::uint64_t> &a) const
+{
+    PIMHE_ASSERT(a.size() == n_, "operand length mismatch");
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j1 = 2 * i * t;
+            const std::uint64_t s = psiRev_[m + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const std::uint64_t u = a[j];
+                const std::uint64_t v = mulMod64(a[j + t], s, p_);
+                a[j] = addMod64(u, v, p_);
+                a[j + t] = subMod64(u, v, p_);
+            }
+        }
+    }
+}
+
+void
+NttTable::inverse(std::vector<std::uint64_t> &a) const
+{
+    PIMHE_ASSERT(a.size() == n_, "operand length mismatch");
+    std::size_t t = 1;
+    for (std::size_t m = n_; m > 1; m >>= 1) {
+        std::size_t j1 = 0;
+        const std::size_t h = m >> 1;
+        for (std::size_t i = 0; i < h; ++i) {
+            const std::uint64_t s = psiInvRev_[h + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const std::uint64_t u = a[j];
+                const std::uint64_t v = a[j + t];
+                a[j] = addMod64(u, v, p_);
+                a[j + t] = mulMod64(subMod64(u, v, p_), s, p_);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (auto &x : a)
+        x = mulMod64(x, nInv_, p_);
+}
+
+std::vector<std::uint64_t>
+NttTable::multiply(std::vector<std::uint64_t> a,
+                   std::vector<std::uint64_t> b) const
+{
+    forward(a);
+    forward(b);
+    for (std::size_t i = 0; i < n_; ++i)
+        a[i] = mulMod64(a[i], b[i], p_);
+    inverse(a);
+    return a;
+}
+
+} // namespace pimhe

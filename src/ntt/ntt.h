@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Negacyclic Number Theoretic Transform over word-sized prime fields.
+ *
+ * This powers the SEAL-like CPU baseline: BFV multiplication via
+ * O(n log n) pointwise products instead of the O(n^2) schoolbook
+ * convolution that the PIM kernels use (the paper leaves NTT-on-PIM to
+ * future work, but compares against SEAL which has it).
+ */
+
+#ifndef PIMHE_NTT_NTT_H
+#define PIMHE_NTT_NTT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pimhe {
+
+/**
+ * Precomputed tables for the negacyclic NTT of length n modulo a prime
+ * p == 1 (mod 2n).
+ *
+ * Uses the Longa-Naehrig formulation where the psi twisting factors are
+ * merged into the butterflies, so forward followed by inverse is an
+ * exact negacyclic identity.
+ */
+class NttTable
+{
+  public:
+    /**
+     * @param p Prime modulus, p == 1 (mod 2n), p < 2^62.
+     * @param n Transform length (power of two).
+     */
+    NttTable(std::uint64_t p, std::size_t n);
+
+    std::uint64_t prime() const { return p_; }
+    std::size_t degree() const { return n_; }
+
+    /** In-place forward negacyclic NTT (standard -> evaluation). */
+    void forward(std::vector<std::uint64_t> &a) const;
+
+    /** In-place inverse negacyclic NTT (evaluation -> standard). */
+    void inverse(std::vector<std::uint64_t> &a) const;
+
+    /**
+     * Negacyclic product of two standard-domain polynomials via
+     * forward NTTs, a pointwise product, and one inverse NTT.
+     */
+    std::vector<std::uint64_t>
+    multiply(std::vector<std::uint64_t> a,
+             std::vector<std::uint64_t> b) const;
+
+  private:
+    std::uint64_t p_;
+    std::size_t n_;
+    std::vector<std::uint64_t> psiRev_;    //!< psi^bitrev(i)
+    std::vector<std::uint64_t> psiInvRev_; //!< psi^-bitrev(i)
+    std::uint64_t nInv_;                   //!< n^-1 mod p
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_NTT_NTT_H

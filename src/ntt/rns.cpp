@@ -1,0 +1,95 @@
+#include "rns.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "modular/mod64.h"
+
+namespace pimhe {
+
+RnsBasis::RnsBasis(std::vector<std::uint64_t> primes)
+    : primes_(std::move(primes))
+{
+    PIMHE_ASSERT(!primes_.empty(), "empty RNS basis");
+    std::size_t product_bits = 0;
+    for (const std::uint64_t p : primes_) {
+        PIMHE_ASSERT(isPrime64(p), "basis element ", p, " is not prime");
+        std::uint64_t v = p;
+        while (v) {
+            ++product_bits;
+            v >>= 1;
+        }
+    }
+    PIMHE_ASSERT(product_bits <= U256::numBits,
+                 "basis product exceeds 256 bits");
+    for (std::size_t i = 0; i < primes_.size(); ++i)
+        for (std::size_t j = i + 1; j < primes_.size(); ++j)
+            PIMHE_ASSERT(primes_[i] != primes_[j],
+                         "duplicate prime in basis");
+
+    product_ = U256(1ULL);
+    for (const std::uint64_t p : primes_)
+        product_ = product_.mulFull(U256(p)).convert<8>();
+
+    hat_.resize(primes_.size());
+    hatInv_.resize(primes_.size());
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        hat_[i] = divmod(product_, U256(primes_[i])).first;
+        // hat_i mod p_i via limb folding.
+        std::uint64_t rem = 0;
+        for (std::size_t l = 8; l-- > 0;) {
+            const unsigned __int128 cur =
+                (static_cast<unsigned __int128>(rem) << 32) |
+                hat_[i].limb(l);
+            rem = static_cast<std::uint64_t>(cur % primes_[i]);
+        }
+        hatInv_[i] = invMod64(rem, primes_[i]);
+    }
+}
+
+RnsBasis
+RnsBasis::forExactConvolution(std::size_t n, std::size_t min_product_bits,
+                              int bits)
+{
+    const std::size_t count =
+        (min_product_bits + static_cast<std::size_t>(bits) - 1) /
+        static_cast<std::size_t>(bits);
+    return RnsBasis(findNttPrimes(bits, 2 * n, std::max<std::size_t>(
+                                                  count, 1)));
+}
+
+std::vector<std::uint64_t>
+RnsBasis::decompose(const U256 &x) const
+{
+    std::vector<std::uint64_t> out(primes_.size());
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        std::uint64_t rem = 0;
+        for (std::size_t l = 8; l-- > 0;) {
+            const unsigned __int128 cur =
+                (static_cast<unsigned __int128>(rem) << 32) | x.limb(l);
+            rem = static_cast<std::uint64_t>(cur % primes_[i]);
+        }
+        out[i] = rem;
+    }
+    return out;
+}
+
+U256
+RnsBasis::recombine(std::span<const std::uint64_t> residues) const
+{
+    PIMHE_ASSERT(residues.size() == primes_.size(),
+                 "residue count mismatch");
+    U256 acc;
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        const std::uint64_t w =
+            mulMod64(residues[i] % primes_[i], hatInv_[i], primes_[i]);
+        // term = w * hat_i  (< p_i * P / p_i = P, fits 256 bits)
+        const U256 term = hat_[i].mulFull(U256(w)).convert<8>();
+        acc += term;
+        if (acc >= product_ || acc < term) // wrapped or exceeded P
+            acc -= product_;
+    }
+    return acc;
+}
+
+} // namespace pimhe

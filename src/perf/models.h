@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Analytic timing models for the CPU, SEAL-like and GPU baselines.
+ */
+
+#ifndef PIMHE_PERF_MODELS_H
+#define PIMHE_PERF_MODELS_H
+
+#include <cmath>
+
+#include "perf/calibration.h"
+#include "perf/platform.h"
+
+namespace pimhe {
+namespace perf {
+
+/** Custom multi-threaded CPU implementation (roofline model). */
+class CpuModel : public PlatformModel
+{
+  public:
+    explicit CpuModel(CpuCalibration cal = {}) : cal_(cal) {}
+
+    std::string name() const override { return "CPU"; }
+
+    Breakdown
+    elementwiseMs(OpKind op, std::size_t limbs, std::size_t elems,
+                  std::size_t units = 1) const override
+    {
+        (void)units; // the custom loop has no per-ct dispatch cost
+        const std::size_t w = widthIndex(limbs);
+        const double ns =
+            op == OpKind::VecAdd ? cal_.addNs[w] : cal_.mulNs[w];
+        Breakdown b;
+        b.computeMs = static_cast<double>(elems) * ns /
+                      (cal_.threads * 1e6);
+        // Three streams (two operands in, result out).
+        const double bytes =
+            3.0 * static_cast<double>(elems) *
+            static_cast<double>(limbs) * 4.0;
+        b.memoryMs = bytes / (cal_.streamGbps * 1e6);
+        return b;
+    }
+
+    Breakdown
+    convolutionMs(std::size_t n, std::size_t limbs,
+                  std::size_t count) const override
+    {
+        const std::size_t w = widthIndex(limbs);
+        Breakdown b;
+        b.computeMs = static_cast<double>(count) *
+                      static_cast<double>(n) * static_cast<double>(n) *
+                      cal_.convMacNs[w] / (cal_.threads * 1e6);
+        return b;
+    }
+
+    const CpuCalibration &calibration() const { return cal_; }
+
+  private:
+    CpuCalibration cal_;
+};
+
+/** SEAL-like RNS+NTT CPU library (single-threaded). */
+class SealModel : public PlatformModel
+{
+  public:
+    explicit SealModel(SealCalibration cal = {}) : cal_(cal) {}
+
+    std::string name() const override { return "CPU-SEAL"; }
+
+    Breakdown
+    elementwiseMs(OpKind op, std::size_t limbs, std::size_t elems,
+                  std::size_t units = 1) const override
+    {
+        const std::size_t w = widthIndex(limbs);
+        const double per_residue_ns = op == OpKind::VecAdd
+                                          ? cal_.addResidueNs
+                                          : cal_.mulResidueNs;
+        Breakdown b;
+        b.computeMs = static_cast<double>(elems) * cal_.residues[w] *
+                      per_residue_ns / (cal_.threads * 1e6);
+        // Per-ciphertext dispatch overhead does not parallelise away.
+        b.overheadMs = static_cast<double>(units) * cal_.perCtNs /
+                       (cal_.threads * 1e6);
+        return b;
+    }
+
+    Breakdown
+    convolutionMs(std::size_t n, std::size_t limbs,
+                  std::size_t count) const override
+    {
+        const std::size_t w = widthIndex(limbs);
+        const double log2n = std::log2(static_cast<double>(n));
+        // ~3 transforms of (n/2) log2 n butterflies + n pointwise
+        // products, per residue.
+        const double ns_per_product =
+            cal_.residues[w] *
+            (3.0 * 0.5 * static_cast<double>(n) * log2n *
+                 cal_.nttButterflyNs +
+             static_cast<double>(n) * cal_.mulResidueNs);
+        Breakdown b;
+        b.computeMs = static_cast<double>(count) *
+                      (ns_per_product / 1e6 +
+                       cal_.perProductUs / 1e3) /
+                      cal_.threads;
+        return b;
+    }
+
+    const SealCalibration &calibration() const { return cal_; }
+
+  private:
+    SealCalibration cal_;
+};
+
+/** Custom GPU implementation on an A100 (data GPU-resident). */
+class GpuModel : public PlatformModel
+{
+  public:
+    explicit GpuModel(GpuCalibration cal = {}) : cal_(cal) {}
+
+    std::string name() const override { return "GPU"; }
+
+    Breakdown
+    elementwiseMs(OpKind op, std::size_t limbs, std::size_t elems,
+                  std::size_t units = 1) const override
+    {
+        (void)units; // single fused kernel, no per-ct dispatch
+        const std::size_t w = widthIndex(limbs);
+        const double ops_per_elem =
+            op == OpKind::VecAdd ? cal_.addOps[w] : cal_.mulOps[w];
+        Breakdown b;
+        b.computeMs = static_cast<double>(elems) * ops_per_elem /
+                      (cal_.int32Tops * cal_.aluEfficiency * 1e9);
+        const double bytes =
+            3.0 * static_cast<double>(elems) *
+            static_cast<double>(limbs) * 4.0;
+        const double eff = op == OpKind::VecAdd
+                               ? cal_.addHbmEfficiency
+                               : cal_.mulHbmEfficiency;
+        b.memoryMs = bytes / (cal_.hbmGbps * eff * 1e6);
+        b.overheadMs = cal_.launchUs / 1e3;
+        return b;
+    }
+
+    Breakdown
+    convolutionMs(std::size_t n, std::size_t limbs,
+                  std::size_t count) const override
+    {
+        const std::size_t w = widthIndex(limbs);
+        Breakdown b;
+        b.computeMs = static_cast<double>(count) *
+                      static_cast<double>(n) * static_cast<double>(n) *
+                      cal_.convMacOps[w] /
+                      (cal_.int32Tops * cal_.aluEfficiency * 1e9);
+        b.overheadMs = cal_.launchUs / 1e3;
+        return b;
+    }
+
+    const GpuCalibration &calibration() const { return cal_; }
+
+  private:
+    GpuCalibration cal_;
+};
+
+} // namespace perf
+} // namespace pimhe
+
+#endif // PIMHE_PERF_MODELS_H

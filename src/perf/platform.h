@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Platform performance-model interface.
+ *
+ * The paper times four platforms: the UPMEM PIM system, a custom CPU
+ * implementation (Intel i5-8250U), the SEAL CPU library, and a custom
+ * GPU implementation (NVIDIA A100). We have none of that hardware, so
+ * benchmarks obtain times from models:
+ *
+ *  - PIM times come from the instruction-level simulator (exact per
+ *    kernel, composed analytically for paper-scale inputs);
+ *  - CPU / SEAL / GPU times come from roofline-style analytic models
+ *    with constants documented in calibration.h.
+ *
+ * Only *relative* behaviour (who wins, crossovers, scaling shape) is
+ * meaningful; absolute milliseconds are indicative.
+ */
+
+#ifndef PIMHE_PERF_PLATFORM_H
+#define PIMHE_PERF_PLATFORM_H
+
+#include <cstddef>
+#include <string>
+
+namespace pimhe {
+namespace perf {
+
+/** Homomorphic vector operations the microbenchmarks time. */
+enum class OpKind
+{
+    VecAdd, //!< elementwise modular addition over coefficients
+    VecMul, //!< elementwise modular multiplication
+};
+
+/** Time breakdown of one modelled operation. */
+struct Breakdown
+{
+    double computeMs = 0;  //!< ALU-bound component
+    double memoryMs = 0;   //!< bandwidth-bound component
+    double transferMs = 0; //!< host<->device staging (0 if resident)
+    double overheadMs = 0; //!< launch / dispatch overheads
+
+    /**
+     * Total time: compute and memory overlap (roofline), transfers
+     * and overheads serialise.
+     */
+    double
+    totalMs() const
+    {
+        return std::max(computeMs, memoryMs) + transferMs + overheadMs;
+    }
+};
+
+/** Abstract timing model of one evaluation platform. */
+class PlatformModel
+{
+  public:
+    virtual ~PlatformModel() = default;
+
+    /** Platform label used in benchmark tables ("CPU", "GPU", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Elementwise modular vector operation over `elems` coefficients
+     * of `limbs` 32-bit limbs each.
+     *
+     * @param units Number of independent ciphertext operations the
+     *              elements belong to; library-style baselines charge
+     *              fixed dispatch overhead per unit.
+     */
+    virtual Breakdown elementwiseMs(OpKind op, std::size_t limbs,
+                                    std::size_t elems,
+                                    std::size_t units = 1) const = 0;
+
+    /**
+     * `count` independent negacyclic polynomial products of degree n
+     * with `limbs`-limb coefficients (the building block of BFV
+     * ciphertext multiplication in the statistical workloads).
+     */
+    virtual Breakdown convolutionMs(std::size_t n, std::size_t limbs,
+                                    std::size_t count) const = 0;
+};
+
+/** Map a limb count (1/2/4) to a calibration table index (0/1/2). */
+inline std::size_t
+widthIndex(std::size_t limbs)
+{
+    switch (limbs) {
+      case 1:
+        return 0;
+      case 2:
+        return 1;
+      default:
+        return 2;
+    }
+}
+
+} // namespace perf
+} // namespace pimhe
+
+#endif // PIMHE_PERF_PLATFORM_H

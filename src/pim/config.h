@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Configuration of the simulated UPMEM-like PIM system.
+ *
+ * Default values model the first-generation UPMEM system evaluated in
+ * the paper: 2,524 DPUs at 425 MHz with 158 GB of PIM memory. The
+ * microarchitectural constants (dispatch interval, DMA costs, transfer
+ * bandwidths) follow the published PrIM characterisation of the same
+ * hardware (Gomez-Luna et al., IEEE Access 2022); they are collected
+ * here so every modelling assumption is visible and overridable.
+ */
+
+#ifndef PIMHE_PIM_CONFIG_H
+#define PIMHE_PIM_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pimhe {
+namespace pim {
+
+/** Per-DPU and system-level hardware parameters. */
+struct DpuConfig
+{
+    /** DPU pipeline clock in MHz (UPMEM gen1: 425 MHz, some 350). */
+    double clockMhz = 425.0;
+
+    /**
+     * Fine-grained multithreading dispatch interval: a tasklet may
+     * issue a new instruction at most every `dispatchInterval` cycles
+     * (the 14-stage pipeline's revolver section), so throughput
+     * saturates at 11 tasklets — the effect the paper observes.
+     */
+    unsigned dispatchInterval = 11;
+
+    /** Maximum hardware tasklets per DPU. */
+    unsigned maxTasklets = 24;
+
+    /** WRAM size in bytes (64 KB scratchpad). */
+    std::size_t wramBytes = 64 * 1024;
+
+    /** MRAM size in bytes (64 MB DRAM bank). */
+    std::size_t mramBytes = 64ULL * 1024 * 1024;
+
+    /** Fixed cycles of a WRAM<->MRAM DMA transfer (setup latency). */
+    double dmaFixedCycles = 77.0;
+
+    /** Additional DMA cycles per byte transferred. */
+    double dmaCyclesPerByte = 0.5;
+
+    /**
+     * When true, model a hypothetical future DPU with a native
+     * 32x32->64 multiplier (1 issue slot per half of the product)
+     * instead of the gen1 shift-and-add mul_step sequence. Used by the
+     * abl_native_mul experiment for the paper's Key Takeaway 2.
+     */
+    bool nativeMul32 = false;
+};
+
+/** Whole-system parameters. */
+struct SystemConfig
+{
+    DpuConfig dpu;
+
+    /** Number of DPUs in the system (paper's testbed: 2,524). */
+    std::size_t numDpus = 2524;
+
+    /**
+     * Aggregate host->DPU copy bandwidth in GB/s for parallel
+     * transfers across many ranks (PrIM measures ~6.7 GB/s).
+     */
+    double hostToDpuGbps = 6.0;
+
+    /** Aggregate DPU->host copy bandwidth in GB/s (~4.7 GB/s). */
+    double dpuToHostGbps = 4.4;
+
+    /** Fixed host-side launch/teardown overhead per kernel, in us. */
+    double launchOverheadUs = 20.0;
+
+    /** Total PIM-enabled memory capacity in bytes (158 GB). */
+    double
+    totalMemoryBytes() const
+    {
+        return static_cast<double>(numDpus) *
+               static_cast<double>(dpu.mramBytes);
+    }
+};
+
+/** The paper's evaluated UPMEM system. */
+inline SystemConfig
+paperSystem()
+{
+    return SystemConfig{};
+}
+
+} // namespace pim
+} // namespace pimhe
+
+#endif // PIMHE_PIM_CONFIG_H

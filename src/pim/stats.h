@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Execution statistics collected by the PIM simulator.
+ */
+
+#ifndef PIMHE_PIM_STATS_H
+#define PIMHE_PIM_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pimhe {
+namespace pim {
+
+/** Per-tasklet issue/stall counters. */
+struct TaskletStats
+{
+    std::uint64_t instructions = 0; //!< issue slots consumed
+    std::uint64_t dmaTransfers = 0; //!< blocking MRAM transfers
+    std::uint64_t dmaBytes = 0;     //!< bytes moved over DMA
+    double dmaStallCycles = 0;      //!< latency the tasklet waited out
+};
+
+/** Per-DPU result of one kernel launch. */
+struct DpuRunStats
+{
+    std::vector<TaskletStats> tasklets;
+    double cycles = 0; //!< modelled execution cycles for this DPU
+
+    std::uint64_t
+    totalInstructions() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &t : tasklets)
+            sum += t.instructions;
+        return sum;
+    }
+
+    std::uint64_t
+    totalDmaBytes() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &t : tasklets)
+            sum += t.dmaBytes;
+        return sum;
+    }
+};
+
+/** System-level result of one kernel launch across all used DPUs. */
+struct LaunchStats
+{
+    std::vector<DpuRunStats> dpus;
+    double maxCycles = 0;     //!< critical-path DPU cycles
+    double kernelMs = 0;      //!< maxCycles / clock
+    double hostToDpuMs = 0;   //!< modelled input copy time
+    double dpuToHostMs = 0;   //!< modelled output copy time
+    double launchOverheadMs = 0;
+
+    /** End-to-end modelled time for this launch. */
+    double
+    totalMs() const
+    {
+        return kernelMs + hostToDpuMs + dpuToHostMs + launchOverheadMs;
+    }
+};
+
+} // namespace pim
+} // namespace pimhe
+
+#endif // PIMHE_PIM_STATS_H

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * System-level PIM model: a set of DPUs plus host transfer timing.
+ */
+
+#ifndef PIMHE_PIM_SYSTEM_H
+#define PIMHE_PIM_SYSTEM_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pim/dpu.h"
+
+namespace pimhe {
+namespace pim {
+
+/**
+ * A host-managed allocation of DPUs.
+ *
+ * Mirrors the UPMEM SDK flow: copy inputs into MRAM, launch a kernel
+ * on every DPU, copy results back. Host<->MRAM copy time is modelled
+ * from the configured bandwidths: uploads performed since the previous
+ * launch are charged to the next launch's hostToDpuMs, downloads after
+ * a launch to its dpuToHostMs.
+ */
+class DpuSet
+{
+  public:
+    /**
+     * @param cfg      System parameters (bandwidths, DPU config).
+     * @param num_dpus DPUs to allocate; must not exceed cfg.numDpus.
+     */
+    DpuSet(const SystemConfig &cfg, std::size_t num_dpus)
+        : cfg_(cfg)
+    {
+        PIMHE_ASSERT(num_dpus >= 1 && num_dpus <= cfg.numDpus,
+                     "cannot allocate ", num_dpus, " of ", cfg.numDpus,
+                     " DPUs");
+        dpus_.reserve(num_dpus);
+        for (std::size_t i = 0; i < num_dpus; ++i)
+            dpus_.push_back(std::make_unique<Dpu>(cfg.dpu));
+    }
+
+    std::size_t size() const { return dpus_.size(); }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Host upload into one DPU's MRAM. */
+    void
+    copyToMram(std::size_t dpu, std::uint64_t addr,
+               std::span<const std::uint8_t> bytes)
+    {
+        dpuAt(dpu).mram().write(addr, bytes.data(), bytes.size());
+        pendingUploadBytes_ += bytes.size();
+        uploadDpusTouched_ += 1;
+    }
+
+    /** Host download from one DPU's MRAM. */
+    void
+    copyFromMram(std::size_t dpu, std::uint64_t addr,
+                 std::span<std::uint8_t> bytes)
+    {
+        dpuAt(dpu).mram().read(addr, bytes.data(), bytes.size());
+        if (!launches_.empty()) {
+            auto &last = launches_.back();
+            last.dpuToHostMs +=
+                transferMs(bytes.size(), 1, cfg_.dpuToHostGbps);
+        }
+    }
+
+    /** Broadcast the same bytes into every DPU's MRAM. */
+    void
+    broadcastToMram(std::uint64_t addr,
+                    std::span<const std::uint8_t> bytes)
+    {
+        for (auto &d : dpus_)
+            d->mram().write(addr, bytes.data(), bytes.size());
+        // Broadcast is a single parallel transfer on the bus.
+        pendingUploadBytes_ += bytes.size();
+        uploadDpusTouched_ += dpus_.size();
+    }
+
+    /**
+     * Run the kernel with `num_tasklets` tasklets on every DPU and
+     * record a LaunchStats entry.
+     */
+    const LaunchStats &
+    launch(unsigned num_tasklets, const Kernel &kernel)
+    {
+        LaunchStats stats;
+        stats.launchOverheadMs = cfg_.launchOverheadUs / 1e3;
+        stats.hostToDpuMs = transferMs(
+            pendingUploadBytes_,
+            uploadDpusTouched_ == 0 ? 1 : uploadDpusTouched_,
+            cfg_.hostToDpuGbps);
+        pendingUploadBytes_ = 0;
+        uploadDpusTouched_ = 0;
+
+        for (auto &d : dpus_) {
+            stats.dpus.push_back(d->run(num_tasklets, kernel));
+            stats.maxCycles =
+                std::max(stats.maxCycles, stats.dpus.back().cycles);
+        }
+        stats.kernelMs = stats.maxCycles / (cfg_.dpu.clockMhz * 1e3);
+        launches_.push_back(std::move(stats));
+        return launches_.back();
+    }
+
+    /** Stats of the most recent launch (downloads keep updating it). */
+    const LaunchStats &
+    lastLaunch() const
+    {
+        PIMHE_ASSERT(!launches_.empty(), "no launches recorded");
+        return launches_.back();
+    }
+
+    /** All launches so far, in order. */
+    const std::vector<LaunchStats> &launches() const { return launches_; }
+
+    /** Sum of totalMs() over all launches. */
+    double
+    totalModeledMs() const
+    {
+        double sum = 0;
+        for (const auto &l : launches_)
+            sum += l.totalMs();
+        return sum;
+    }
+
+    Dpu &
+    dpuAt(std::size_t i)
+    {
+        PIMHE_ASSERT(i < dpus_.size(), "DPU index out of range: ", i);
+        return *dpus_[i];
+    }
+
+  private:
+    /**
+     * Time for a host transfer touching `dpus_involved` DPUs: each
+     * DPU link sustains ~0.33 GB/s, the bus saturates at the
+     * aggregate bandwidth.
+     */
+    double
+    transferMs(std::uint64_t bytes, std::size_t dpus_involved,
+               double aggregate_gbps) const
+    {
+        if (bytes == 0)
+            return 0;
+        constexpr double per_dpu_gbps = 0.33;
+        const double gbps = std::min(
+            aggregate_gbps,
+            per_dpu_gbps * static_cast<double>(dpus_involved));
+        return static_cast<double>(bytes) / (gbps * 1e6);
+    }
+
+    SystemConfig cfg_;
+    std::vector<std::unique_ptr<Dpu>> dpus_;
+    std::vector<LaunchStats> launches_;
+    std::uint64_t pendingUploadBytes_ = 0;
+    std::size_t uploadDpusTouched_ = 0;
+};
+
+} // namespace pim
+} // namespace pimhe
+
+#endif // PIMHE_PIM_SYSTEM_H

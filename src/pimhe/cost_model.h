@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Analytic PIM timing for paper-scale inputs.
+ *
+ * Simulating 327,680 ciphertexts instruction-by-instruction is
+ * intractable on a laptop, but every kernel in kernels.h is
+ * shape-deterministic: its per-DPU cycle count is an exact linear (or,
+ * for convolution, quadratic) function of the element count at a fixed
+ * tasklet count. PimCostModel therefore
+ *
+ *  1. probes the real simulator at two small shapes,
+ *  2. fits the exact linear/quadratic coefficients, and
+ *  3. composes system-level time analytically (all DPUs run the same
+ *     padded shape; the critical path is one DPU).
+ *
+ * Property tests validate the fit against full simulations at
+ * intermediate shapes (tests/test_cost_model.cpp).
+ *
+ * Transfer policy: vector operands are PIM-resident (computing where
+ * the data lives is the PIM service model), matching the GPU model's
+ * HBM-resident assumption; launch overhead is always charged. The
+ * *WithTransfers variants add explicit host staging for ablations.
+ */
+
+#ifndef PIMHE_PIMHE_COST_MODEL_H
+#define PIMHE_PIMHE_COST_MODEL_H
+
+#include <map>
+#include <tuple>
+
+#include "bigint/wide_int.h"
+#include "perf/platform.h"
+#include "pim/system.h"
+#include "pimhe/kernels.h"
+
+namespace pimhe {
+
+/**
+ * PlatformModel implementation for the simulated UPMEM system.
+ */
+class PimCostModel : public perf::PlatformModel
+{
+  public:
+    /**
+     * @param cfg      System to model (defaults to the paper's).
+     * @param tasklets Tasklets per DPU used by the kernels.
+     * @param pm_k     Modulus bit length (pseudo-Mersenne 2^k - c).
+     * @param pm_c     Fold constant per width index; defaults match
+     *                 standardParams.
+     */
+    explicit
+    PimCostModel(pim::SystemConfig cfg = pim::paperSystem(),
+                 unsigned tasklets = 12)
+        : cfg_(cfg), tasklets_(tasklets)
+    {}
+
+    std::string name() const override { return "PIM"; }
+
+    const pim::SystemConfig &config() const { return cfg_; }
+    unsigned tasklets() const { return tasklets_; }
+
+    /** DPUs the op actually spreads over (dynamic utilisation). */
+    std::size_t
+    dpusUsed(std::size_t elems) const
+    {
+        // One DPU per at least one WRAM chunk of work keeps launch
+        // efficiency; never exceed the system size.
+        return std::max<std::size_t>(
+            1, std::min<std::size_t>(cfg_.numDpus, elems));
+    }
+
+    perf::Breakdown
+    elementwiseMs(perf::OpKind op, std::size_t limbs,
+                  std::size_t elems,
+                  std::size_t units = 1) const override
+    {
+        // Work is distributed at ciphertext granularity ("dynamic
+        // utilisation of PIM cores" in the paper): each DPU owns
+        // whole units, so per-DPU work — and thus execution time —
+        // stays flat while units <= numDpus.
+        std::size_t per_dpu;
+        if (units > 1) {
+            const std::size_t dpus =
+                std::min<std::size_t>(cfg_.numDpus, units);
+            const std::size_t units_per_dpu =
+                (units + dpus - 1) / dpus;
+            const std::size_t elems_per_unit =
+                (elems + units - 1) / units;
+            per_dpu = units_per_dpu * elems_per_unit;
+        } else {
+            const std::size_t dpus = dpusUsed(elems);
+            per_dpu = (elems + dpus - 1) / dpus;
+        }
+        const LinearFit fit = elementwiseFit(op, limbs);
+        perf::Breakdown b;
+        b.computeMs =
+            (fit.base + fit.slope * static_cast<double>(per_dpu)) /
+            (cfg_.dpu.clockMhz * 1e3);
+        b.overheadMs = cfg_.launchOverheadUs / 1e3;
+        return b;
+    }
+
+    /** elementwiseMs plus host staging of operands and results. */
+    perf::Breakdown
+    elementwiseWithTransfersMs(perf::OpKind op, std::size_t limbs,
+                               std::size_t elems) const
+    {
+        perf::Breakdown b = elementwiseMs(op, limbs, elems);
+        const double bytes = static_cast<double>(elems) *
+                             static_cast<double>(limbs) * 4.0;
+        const std::size_t dpus = dpusUsed(elems);
+        b.transferMs = transferMs(2.0 * bytes, dpus,
+                                  cfg_.hostToDpuGbps) +
+                       transferMs(bytes, dpus, cfg_.dpuToHostGbps);
+        return b;
+    }
+
+    perf::Breakdown
+    convolutionMs(std::size_t n, std::size_t limbs,
+                  std::size_t count) const override
+    {
+        const std::size_t dpus =
+            std::max<std::size_t>(
+                1, std::min<std::size_t>(cfg_.numDpus, count));
+        const std::size_t per_dpu = (count + dpus - 1) / dpus;
+        const QuadFit fit = convolutionFit(limbs);
+        const double cycles_per_pair =
+            fit.linear * static_cast<double>(n) +
+            fit.quadratic * static_cast<double>(n) *
+                static_cast<double>(n);
+        perf::Breakdown b;
+        b.computeMs = static_cast<double>(per_dpu) * cycles_per_pair /
+                      (cfg_.dpu.clockMhz * 1e3);
+        b.overheadMs = cfg_.launchOverheadUs / 1e3;
+        return b;
+    }
+
+    /**
+     * Exact simulated cycles of one DPU running the elementwise
+     * kernel on `elems` elements (used by the probe and by the
+     * validation tests).
+     */
+    double
+    simulateElementwiseCycles(perf::OpKind op, std::size_t limbs,
+                              std::size_t elems) const
+    {
+        pim::Dpu dpu(cfg_.dpu);
+        pimhe_kernels::VecKernelParams kp = vecParams(limbs, elems);
+        const std::size_t bytes = elems * limbs * 4;
+        const std::vector<std::uint8_t> zeros(bytes, 0);
+        dpu.mram().write(kp.mramA, zeros.data(), bytes);
+        dpu.mram().write(kp.mramB, zeros.data(), bytes);
+        const auto stats = dpu.run(
+            tasklets_, op == perf::OpKind::VecAdd
+                           ? pimhe_kernels::makeVecAddModQKernel(kp)
+                           : pimhe_kernels::makeVecMulModQKernel(kp));
+        return stats.cycles;
+    }
+
+    /** Exact simulated cycles of one degree-n convolution pair. */
+    double
+    simulateConvolutionCycles(std::size_t n, std::size_t limbs) const
+    {
+        pim::Dpu dpu(cfg_.dpu);
+        pimhe_kernels::ConvKernelParams kp = convParams(limbs, n);
+        const std::size_t bytes = n * limbs * 4;
+        const std::vector<std::uint8_t> zeros(bytes, 0);
+        dpu.mram().write(kp.mramA, zeros.data(), bytes);
+        dpu.mram().write(kp.mramB, zeros.data(), bytes);
+        const auto stats = dpu.run(
+            tasklets_, pimhe_kernels::makeNegacyclicConvKernel(kp));
+        return stats.cycles;
+    }
+
+  private:
+    struct LinearFit
+    {
+        double base = 0;
+        double slope = 0;
+    };
+
+    struct QuadFit
+    {
+        double linear = 0;
+        double quadratic = 0;
+    };
+
+    pimhe_kernels::VecKernelParams
+    vecParams(std::size_t limbs, std::size_t elems) const
+    {
+        pimhe_kernels::VecKernelParams kp;
+        kp.elems = static_cast<std::uint32_t>(elems);
+        kp.limbs = static_cast<std::uint32_t>(limbs);
+        // Timing does not depend on modulus values, only shape; use
+        // the standard modulus shape per width.
+        static constexpr std::uint32_t ks[3] = {27, 54, 109};
+        static constexpr std::uint32_t cs[3] = {2047, 77823, 229375};
+        const std::size_t w = perf::widthIndex(limbs);
+        kp.k = ks[w];
+        kp.c = cs[w];
+        const U128 q = U128::oneShl(kp.k) - U128(kp.c);
+        for (std::size_t l = 0; l < 4; ++l)
+            kp.q[l] = q.limb(l);
+        const std::size_t arr_bytes = ((elems * limbs * 4 + 7) / 8) * 8;
+        kp.mramA = 0;
+        kp.mramB = arr_bytes;
+        kp.mramOut = 2 * arr_bytes;
+        return kp;
+    }
+
+    pimhe_kernels::ConvKernelParams
+    convParams(std::size_t limbs, std::size_t n) const
+    {
+        pimhe_kernels::ConvKernelParams kp;
+        kp.n = static_cast<std::uint32_t>(n);
+        kp.limbs = static_cast<std::uint32_t>(limbs);
+        kp.q.fill(0xFFFFFFFFu);
+        kp.halfQ.fill(0x7FFFFFFFu);
+        kp.mramA = 0;
+        kp.mramB = n * limbs * 4;
+        kp.mramOut = 2 * n * limbs * 4;
+        return kp;
+    }
+
+    LinearFit
+    elementwiseFit(perf::OpKind op, std::size_t limbs) const
+    {
+        const auto key = std::make_tuple(static_cast<int>(op), limbs);
+        const auto it = vecFits_.find(key);
+        if (it != vecFits_.end())
+            return it->second;
+        // Probe at two shapes that are exact multiples of the
+        // tasklet x chunk tiling so the fit is exact there.
+        const std::uint32_t chunk = pimhe_kernels::wramChunkBytes(
+                                        cfg_.dpu, tasklets_) /
+                                    (limbs * 4);
+        const std::size_t e1 =
+            static_cast<std::size_t>(tasklets_) * chunk * 2;
+        const std::size_t e2 = 2 * e1;
+        const double c1 = simulateElementwiseCycles(op, limbs, e1);
+        const double c2 = simulateElementwiseCycles(op, limbs, e2);
+        LinearFit fit;
+        fit.slope = (c2 - c1) / static_cast<double>(e2 - e1);
+        fit.base = c1 - fit.slope * static_cast<double>(e1);
+        vecFits_[key] = fit;
+        return fit;
+    }
+
+    QuadFit
+    convolutionFit(std::size_t limbs) const
+    {
+        const auto it = convFits_.find(limbs);
+        if (it != convFits_.end())
+            return it->second;
+        const std::size_t n1 = 4 * tasklets_;
+        const std::size_t n2 = 2 * n1;
+        const double c1 = simulateConvolutionCycles(n1, limbs);
+        const double c2 = simulateConvolutionCycles(n2, limbs);
+        // Solve c = A n + B n^2 at the two probe points.
+        const double a1 = static_cast<double>(n1);
+        const double a2 = static_cast<double>(n2);
+        QuadFit fit;
+        fit.quadratic = (c2 / a2 - c1 / a1) / (a2 - a1);
+        fit.linear = c1 / a1 - fit.quadratic * a1;
+        convFits_[limbs] = fit;
+        return fit;
+    }
+
+    double
+    transferMs(double bytes, std::size_t dpus, double aggregate_gbps)
+        const
+    {
+        if (bytes <= 0)
+            return 0;
+        constexpr double per_dpu_gbps = 0.33;
+        const double gbps =
+            std::min(aggregate_gbps,
+                     per_dpu_gbps * static_cast<double>(dpus));
+        return bytes / (gbps * 1e6);
+    }
+
+    pim::SystemConfig cfg_;
+    unsigned tasklets_;
+    mutable std::map<std::tuple<int, std::size_t>, LinearFit> vecFits_;
+    mutable std::map<std::size_t, QuadFit> convFits_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_PIMHE_COST_MODEL_H

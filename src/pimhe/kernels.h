@@ -1,0 +1,320 @@
+/**
+ * @file
+ * DPU kernels for homomorphic operations — the paper's contribution.
+ *
+ * Three kernels cover everything the paper offloads to PIM:
+ *
+ *  - vector add:  elementwise (a + b) mod q over flat coefficient
+ *    arrays (homomorphic addition of ciphertext vectors);
+ *  - vector mul:  elementwise (a * b) mod q (the per-coefficient
+ *    building block of homomorphic multiplication), Karatsuba over
+ *    32-bit chunks exactly as described in the paper;
+ *  - negacyclic convolution: full polynomial product with signed
+ *    double-width accumulators, used when whole BFV tensor products
+ *    run on the PIM system.
+ *
+ * Every kernel is shape-deterministic: its instruction count depends
+ * only on (elems, limbs, tasklets), which the analytic cost model in
+ * cost_model.h exploits.
+ */
+
+#ifndef PIMHE_PIMHE_KERNELS_H
+#define PIMHE_PIMHE_KERNELS_H
+
+#include <array>
+#include <cstdint>
+
+#include "pim/dpu.h"
+#include "pim/wide_ops.h"
+
+namespace pimhe {
+namespace pimhe_kernels {
+
+/** Shared shape/layout parameters of the elementwise kernels. */
+struct VecKernelParams
+{
+    std::uint64_t mramA = 0;   //!< MRAM byte offset of operand A
+    std::uint64_t mramB = 0;   //!< MRAM byte offset of operand B
+    std::uint64_t mramOut = 0; //!< MRAM byte offset of the result
+    std::uint32_t elems = 0;   //!< elements on this DPU
+    std::uint32_t limbs = 1;   //!< 32-bit limbs per element (1/2/4)
+    std::uint32_t k = 0;       //!< modulus bit length (q = 2^k - c)
+    std::uint32_t c = 0;       //!< pseudo-Mersenne fold constant
+    std::array<std::uint32_t, 4> q{}; //!< modulus limbs
+
+    std::uint32_t elemBytes() const { return limbs * 4; }
+};
+
+/**
+ * Bytes of WRAM one tasklet may use per staging buffer (three buffers
+ * live at once: A chunk, B chunk, OUT chunk).
+ */
+inline std::uint32_t
+wramChunkBytes(const pim::DpuConfig &cfg, unsigned num_tasklets)
+{
+    const std::size_t budget = cfg.wramBytes / (3 * num_tasklets);
+    std::uint32_t bytes = 8;
+    while (bytes * 2 <= budget && bytes * 2 <= 2048)
+        bytes *= 2;
+    return bytes;
+}
+
+/** Contiguous [begin, end) element range owned by one tasklet. */
+inline std::pair<std::uint32_t, std::uint32_t>
+taskletRange(std::uint32_t elems, unsigned tasklet, unsigned tasklets)
+{
+    const std::uint32_t base = elems / tasklets;
+    const std::uint32_t extra = elems % tasklets;
+    const std::uint32_t begin =
+        tasklet * base + std::min<std::uint32_t>(tasklet, extra);
+    const std::uint32_t count = base + (tasklet < extra ? 1 : 0);
+    return {begin, begin + count};
+}
+
+namespace detail {
+
+/**
+ * Shared chunked elementwise driver: DMA A/B chunks into WRAM, apply
+ * `op` per element, DMA the result back.
+ */
+template <typename PerElement>
+void
+runElementwise(pim::TaskletCtx &ctx, const VecKernelParams &p,
+               PerElement &&op)
+{
+    const std::uint32_t elem_bytes = p.elemBytes();
+    const std::uint32_t chunk_bytes =
+        wramChunkBytes(ctx.config(), ctx.numTasklets());
+    const std::uint32_t chunk_elems =
+        std::max<std::uint32_t>(1, chunk_bytes / elem_bytes);
+
+    const std::uint32_t wbase = ctx.id() * 3 * chunk_bytes;
+    const std::uint32_t wa = wbase;
+    const std::uint32_t wb = wbase + chunk_bytes;
+    const std::uint32_t wo = wbase + 2 * chunk_bytes;
+
+    const auto [begin, end] =
+        taskletRange(p.elems, ctx.id(), ctx.numTasklets());
+
+    for (std::uint32_t e = begin; e < end; e += chunk_elems) {
+        const std::uint32_t count =
+            std::min<std::uint32_t>(chunk_elems, end - e);
+        // DMA sizes must be 8-byte multiples; element sizes are 4,
+        // 8 or 16 bytes, so round the tail up to 8.
+        const std::uint32_t bytes = ((count * elem_bytes + 7) / 8) * 8;
+        ctx.mramRead(p.mramA + std::uint64_t(e) * elem_bytes, wa,
+                     bytes);
+        ctx.mramRead(p.mramB + std::uint64_t(e) * elem_bytes, wb,
+                     bytes);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            std::uint32_t a[pim::kMaxLimbs];
+            std::uint32_t b[pim::kMaxLimbs];
+            std::uint32_t out[pim::kMaxLimbs];
+            for (std::uint32_t l = 0; l < p.limbs; ++l) {
+                a[l] = ctx.wramLoad32(wa + i * elem_bytes + 4 * l);
+                b[l] = ctx.wramLoad32(wb + i * elem_bytes + 4 * l);
+            }
+            op(ctx, a, b, out);
+            for (std::uint32_t l = 0; l < p.limbs; ++l)
+                ctx.wramStore32(wo + i * elem_bytes + 4 * l, out[l]);
+            ctx.charge(3); // loop index/branch overhead
+        }
+        ctx.mramWrite(wo, p.mramOut + std::uint64_t(e) * elem_bytes,
+                      bytes);
+        ctx.charge(5); // chunk loop overhead
+    }
+}
+
+} // namespace detail
+
+/**
+ * Elementwise modular addition kernel: out[i] = (a[i] + b[i]) mod q.
+ * One add + (limbs-1) addc per element, exactly the paper's
+ * construction of 64- and 128-bit addition from 32-bit instructions.
+ */
+inline pim::Kernel
+makeVecAddModQKernel(VecKernelParams p)
+{
+    return [p](pim::TaskletCtx &ctx) {
+        detail::runElementwise(
+            ctx, p,
+            [&p](pim::TaskletCtx &c, const std::uint32_t *a,
+                 const std::uint32_t *b, std::uint32_t *out) {
+                pim::dpuWideAddModQ(c, a, b, p.q.data(), out, p.limbs);
+            });
+    };
+}
+
+/**
+ * Elementwise modular multiplication kernel:
+ * out[i] = (a[i] * b[i]) mod q via Karatsuba over 32-bit chunks plus
+ * pseudo-Mersenne reduction. On gen1 hardware every 32x32 product
+ * expands to the mul_step sequence — the effect behind the paper's
+ * Key Takeaway 2.
+ */
+inline pim::Kernel
+makeVecMulModQKernel(VecKernelParams p)
+{
+    return [p](pim::TaskletCtx &ctx) {
+        detail::runElementwise(
+            ctx, p,
+            [&p](pim::TaskletCtx &c, const std::uint32_t *a,
+                 const std::uint32_t *b, std::uint32_t *out) {
+                pim::dpuWideMulModQ(c, a, b, p.q.data(), p.k, p.c, out,
+                                    p.limbs);
+            });
+    };
+}
+
+/** Parameters of the negacyclic convolution kernel. */
+struct ConvKernelParams
+{
+    std::uint64_t mramA = 0;  //!< operand A, n x limbs coefficients
+    std::uint64_t mramB = 0;  //!< operand B
+    std::uint64_t mramOut = 0;//!< result, n x accLimbs() accumulators
+    std::uint32_t n = 0;      //!< ring degree
+    std::uint32_t limbs = 1;  //!< coefficient limbs
+    std::array<std::uint32_t, 4> q{};    //!< modulus limbs
+    std::array<std::uint32_t, 4> halfQ{};//!< floor(q/2) limbs
+
+    /**
+     * Two's-complement accumulator limbs: products span 2*limbs,
+     * plus one limb absorbs the sum over n terms, rounded up to an
+     * even count for 8-byte DMA alignment.
+     */
+    std::uint32_t
+    accLimbs() const
+    {
+        const std::uint32_t raw = 2 * limbs + 1;
+        return raw + (raw & 1);
+    }
+};
+
+/**
+ * Centre a reduced coefficient: if v > q/2 the magnitude is q - v and
+ * the sign is negative. Branch-free. Returns the sign bit (1 =
+ * negative); writes the magnitude.
+ */
+inline std::uint32_t
+centreMagnitude(pim::TaskletCtx &ctx, const ConvKernelParams &p,
+                const std::uint32_t *v, std::uint32_t *mag)
+{
+    // is_neg = (halfQ < v)  <=>  halfQ - v borrows... compute
+    // v - halfQ and check no borrow and nonzero; simpler: borrow of
+    // (halfQ - v) is 1 exactly when v > halfQ.
+    std::uint32_t scratch[pim::kMaxLimbs];
+    const std::uint32_t is_neg =
+        pim::dpuWideSub(ctx, p.halfQ.data(), v, scratch, p.limbs);
+    // qmv = q - v (valid when v != 0; v == 0 is never negative).
+    std::uint32_t qmv[pim::kMaxLimbs];
+    pim::dpuWideSub(ctx, p.q.data(), v, qmv, p.limbs);
+    for (std::uint32_t l = 0; l < p.limbs; ++l)
+        mag[l] = ctx.select(is_neg != 0, qmv[l], v[l]);
+    return is_neg;
+}
+
+/**
+ * acc += (negate ? -prod : prod), two's complement over acc_limbs
+ * with prod sign-extended from prod_limbs (prod is an unsigned
+ * magnitude below 2^(32*prod_limbs - 1)).
+ */
+inline void
+accumulateSigned(pim::TaskletCtx &ctx, std::uint32_t *acc,
+                 const std::uint32_t *prod, std::uint32_t prod_limbs,
+                 std::uint32_t acc_limbs, std::uint32_t negate)
+{
+    // mask = negate ? ~0 : 0; term = prod ^ mask (+ negate), i.e. the
+    // two's-complement negation folded into the addc chain.
+    const std::uint32_t mask = ctx.sub(0, negate);
+    ctx.setCarryFlag(negate & 1);
+    for (std::uint32_t l = 0; l < acc_limbs; ++l) {
+        const std::uint32_t pv = l < prod_limbs ? prod[l] : 0;
+        acc[l] = ctx.addc(acc[l], ctx.xor_(pv, mask));
+    }
+}
+
+/**
+ * Negacyclic convolution kernel with centred operands:
+ *
+ *   out[m] = sum_{i+j == m} lift(a[i]) * lift(b[j])
+ *          - sum_{i+j == m+n} lift(a[i]) * lift(b[j])
+ *
+ * over the integers, in two's-complement accLimbs()-limb values. The
+ * host finishes the BFV scale-and-round. Both operand polynomials are
+ * staged to WRAM once (they must fit); each tasklet owns a contiguous
+ * slice of output coefficients.
+ */
+inline pim::Kernel
+makeNegacyclicConvKernel(ConvKernelParams p)
+{
+    return [p](pim::TaskletCtx &ctx) {
+        const std::uint32_t elem_bytes = p.limbs * 4;
+        const std::uint32_t poly_bytes = p.n * elem_bytes;
+        const std::uint32_t acc_bytes = p.accLimbs() * 4;
+        const std::uint32_t wa = 0;
+        const std::uint32_t wb = poly_bytes;
+        // Per-tasklet output staging slot after the shared operands.
+        const std::uint32_t wo =
+            2 * poly_bytes + ctx.id() * acc_bytes;
+        PIMHE_ASSERT(2 * poly_bytes +
+                             ctx.numTasklets() * acc_bytes <=
+                         ctx.config().wramBytes,
+                     "polynomials do not fit in WRAM; lower n");
+
+        // Tasklet 0 stages both operands (the others would barrier on
+        // it on real hardware; simulation runs tasklets in order).
+        if (ctx.id() == 0) {
+            for (std::uint32_t off = 0; off < poly_bytes; off += 2048) {
+                const std::uint32_t bytes =
+                    std::min<std::uint32_t>(2048, poly_bytes - off);
+                ctx.mramRead(p.mramA + off, wa + off, bytes);
+                ctx.mramRead(p.mramB + off, wb + off, bytes);
+            }
+        }
+
+        const auto [begin, end] =
+            taskletRange(p.n, ctx.id(), ctx.numTasklets());
+        for (std::uint32_t m = begin; m < end; ++m) {
+            std::uint32_t acc[2 * pim::kMaxLimbs] = {};
+            for (std::uint32_t i = 0; i < p.n; ++i) {
+                const bool wraps = i > m;
+                const std::uint32_t j = wraps ? m + p.n - i : m - i;
+
+                // Load and centre both coefficients.
+                std::uint32_t av[pim::kMaxLimbs] = {};
+                std::uint32_t bv[pim::kMaxLimbs] = {};
+                for (std::uint32_t l = 0; l < p.limbs; ++l) {
+                    av[l] = ctx.wramLoad32(wa + i * elem_bytes + 4 * l);
+                    bv[l] = ctx.wramLoad32(wb + j * elem_bytes + 4 * l);
+                }
+                std::uint32_t am[pim::kMaxLimbs];
+                std::uint32_t bm[pim::kMaxLimbs];
+                const std::uint32_t sa =
+                    centreMagnitude(ctx, p, av, am);
+                const std::uint32_t sb =
+                    centreMagnitude(ctx, p, bv, bm);
+
+                // Unsigned product of magnitudes, then signed
+                // accumulate with sign sa ^ sb (negacyclic wrap flips
+                // it once more).
+                std::uint32_t prod[2 * pim::kMaxLimbs] = {};
+                pim::dpuWideMulKaratsuba(ctx, am, bm, prod, p.limbs);
+                const std::uint32_t negate =
+                    ctx.xor_(sa, sb) ^ (wraps ? 1u : 0u);
+                accumulateSigned(ctx, acc, prod, 2 * p.limbs,
+                                 p.accLimbs(), negate);
+                ctx.charge(3); // inner loop overhead
+            }
+            for (std::uint32_t l = 0; l < p.accLimbs(); ++l)
+                ctx.wramStore32(wo + 4 * l, acc[l]);
+            ctx.mramWrite(wo, p.mramOut + std::uint64_t(m) * acc_bytes,
+                          acc_bytes);
+            ctx.charge(5); // outer loop overhead
+        }
+    };
+}
+
+} // namespace pimhe_kernels
+} // namespace pimhe
+
+#endif // PIMHE_PIMHE_KERNELS_H

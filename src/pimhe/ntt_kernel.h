@@ -1,0 +1,256 @@
+/**
+ * @file
+ * NTT-on-PIM: the paper's future-work experiment, implemented.
+ *
+ * §3 of the paper: "We do not incorporate Number Theoretic Transform
+ * (NTT) techniques to optimize multiplication. We leave them for
+ * future work." This kernel is that future work inside the simulator:
+ * a negacyclic NTT-based polynomial product over a word-sized prime,
+ * entirely on a DPU, using only gen1 instructions (Barrett reduction
+ * built from mul32/shift/sub). The abl_ntt_on_pim experiment measures
+ * how far O(n log n) gets a DPU whose multiplier is still software.
+ *
+ * Parallelisation is at polynomial granularity: each tasklet owns
+ * whole (a, b) pairs and transforms them in its WRAM slice, which is
+ * how a batched HE workload would use it (no inter-tasklet barriers).
+ */
+
+#ifndef PIMHE_PIMHE_NTT_KERNEL_H
+#define PIMHE_PIMHE_NTT_KERNEL_H
+
+#include <cstdint>
+
+#include "modular/mod64.h"
+#include "pim/dpu.h"
+#include "pimhe/kernels.h"
+
+namespace pimhe {
+namespace pimhe_kernels {
+
+/**
+ * Modular multiply for a prime p < 2^30 on the DPU: one software
+ * 32x32 product plus a Barrett estimate (mu = floor(2^60 / p)) and
+ * two branch-free conditional subtractions. Costs ~80 issue slots on
+ * gen1, ~12 with a native multiplier — the whole point of the
+ * ablation.
+ */
+inline std::uint32_t
+dpuModMul30(pim::TaskletCtx &ctx, std::uint32_t a, std::uint32_t b,
+            std::uint32_t p, std::uint32_t mu)
+{
+    const std::uint64_t x = ctx.mul32(a, b);
+    // xhi = x >> 29 (64-bit funnel shift: 2 slots).
+    ctx.charge(2);
+    const std::uint32_t xhi = static_cast<std::uint32_t>(x >> 29);
+    const std::uint64_t est = ctx.mul32(xhi, mu);
+    ctx.charge(2);
+    const std::uint32_t qest = static_cast<std::uint32_t>(est >> 31);
+    const std::uint64_t qp = ctx.mul32(qest, p);
+    // r = x - qest * p over 64 bits (2 slots); Barrett guarantees
+    // r < 3p < 2^32 so the low limb is the value.
+    ctx.charge(2);
+    std::uint32_t r = static_cast<std::uint32_t>(x - qp);
+    for (int round = 0; round < 2; ++round) {
+        const std::uint32_t d = ctx.sub(r, p);
+        r = ctx.select(ctx.borrowFlag() != 0, r, d);
+    }
+    return r;
+}
+
+/** Modular add/sub for reduced 30-bit operands (branch-free). */
+inline std::uint32_t
+dpuModAdd30(pim::TaskletCtx &ctx, std::uint32_t a, std::uint32_t b,
+            std::uint32_t p)
+{
+    const std::uint32_t s = ctx.add(a, b);
+    const std::uint32_t d = ctx.sub(s, p);
+    return ctx.select(ctx.borrowFlag() != 0, s, d);
+}
+
+inline std::uint32_t
+dpuModSub30(pim::TaskletCtx &ctx, std::uint32_t a, std::uint32_t b,
+            std::uint32_t p)
+{
+    const std::uint32_t d = ctx.sub(a, b);
+    const std::uint32_t dp = ctx.add(d, p);
+    return ctx.select(ctx.borrowFlag() != 0, dp, d);
+}
+
+/** Shape and layout of the NTT product kernel. */
+struct NttKernelParams
+{
+    std::uint64_t mramA = 0;     //!< count x n residues of operand A
+    std::uint64_t mramB = 0;     //!< count x n residues of operand B
+    std::uint64_t mramOut = 0;   //!< count x n result residues
+    std::uint64_t mramPsi = 0;   //!< psi^bitrev(i) table (n entries)
+    std::uint64_t mramPsiInv = 0;//!< psi^-bitrev(i) table
+    std::uint32_t n = 0;         //!< transform length (power of two)
+    std::uint32_t count = 0;     //!< polynomial pairs on this DPU
+    std::uint32_t p = 0;         //!< prime, p < 2^30, p == 1 mod 2n
+    std::uint32_t mu = 0;        //!< floor(2^60 / p)
+    std::uint32_t nInv = 0;      //!< n^-1 mod p
+};
+
+/** In-place forward negacyclic NTT on a WRAM-resident polynomial. */
+inline void
+nttForwardInPlace(pim::TaskletCtx &ctx, const NttKernelParams &kp,
+        std::uint32_t w_poly, std::uint32_t w_psi)
+{
+    std::uint32_t t = kp.n;
+    for (std::uint32_t m = 1; m < kp.n; m <<= 1) {
+        t >>= 1;
+        for (std::uint32_t i = 0; i < m; ++i) {
+            const std::uint32_t j1 = 2 * i * t;
+            const std::uint32_t s =
+                ctx.wramLoad32(w_psi + 4 * (m + i));
+            for (std::uint32_t j = j1; j < j1 + t; ++j) {
+                const std::uint32_t u =
+                    ctx.wramLoad32(w_poly + 4 * j);
+                const std::uint32_t v = dpuModMul30(
+                    ctx, ctx.wramLoad32(w_poly + 4 * (j + t)), s,
+                    kp.p, kp.mu);
+                ctx.wramStore32(w_poly + 4 * j,
+                                dpuModAdd30(ctx, u, v, kp.p));
+                ctx.wramStore32(w_poly + 4 * (j + t),
+                                dpuModSub30(ctx, u, v, kp.p));
+                ctx.charge(3);
+            }
+            ctx.charge(3);
+        }
+    }
+}
+
+/** In-place inverse negacyclic NTT on a WRAM-resident polynomial. */
+inline void
+nttInverseInPlace(pim::TaskletCtx &ctx, const NttKernelParams &kp,
+        std::uint32_t w_poly, std::uint32_t w_psi_inv)
+{
+    std::uint32_t t = 1;
+    for (std::uint32_t m = kp.n; m > 1; m >>= 1) {
+        std::uint32_t j1 = 0;
+        const std::uint32_t h = m >> 1;
+        for (std::uint32_t i = 0; i < h; ++i) {
+            const std::uint32_t s =
+                ctx.wramLoad32(w_psi_inv + 4 * (h + i));
+            for (std::uint32_t j = j1; j < j1 + t; ++j) {
+                const std::uint32_t u =
+                    ctx.wramLoad32(w_poly + 4 * j);
+                const std::uint32_t v =
+                    ctx.wramLoad32(w_poly + 4 * (j + t));
+                ctx.wramStore32(w_poly + 4 * j,
+                                dpuModAdd30(ctx, u, v, kp.p));
+                ctx.wramStore32(
+                    w_poly + 4 * (j + t),
+                    dpuModMul30(ctx, dpuModSub30(ctx, u, v, kp.p), s,
+                                kp.p, kp.mu));
+                ctx.charge(3);
+            }
+            j1 += 2 * t;
+            ctx.charge(3);
+        }
+        t <<= 1;
+    }
+    for (std::uint32_t i = 0; i < kp.n; ++i) {
+        ctx.wramStore32(
+            w_poly + 4 * i,
+            dpuModMul30(ctx, ctx.wramLoad32(w_poly + 4 * i), kp.nInv,
+                        kp.p, kp.mu));
+        ctx.charge(2);
+    }
+}
+
+/**
+ * Negacyclic NTT product kernel: per pair, two forward transforms, a
+ * pointwise product and one inverse transform, all in WRAM.
+ *
+ * WRAM layout: [psi | psiInv | per-tasklet slices of (A, B)].
+ */
+inline pim::Kernel
+makeNttMulKernel(NttKernelParams kp)
+{
+    return [kp](pim::TaskletCtx &ctx) {
+        const std::uint32_t n = kp.n;
+        const std::uint32_t poly_bytes = n * 4;
+        const std::uint32_t w_psi = 0;
+        const std::uint32_t w_psi_inv = poly_bytes;
+        const std::uint32_t slice =
+            2 * poly_bytes + ctx.id() * 2 * poly_bytes;
+        PIMHE_ASSERT(2 * poly_bytes +
+                             ctx.numTasklets() * 2 * poly_bytes <=
+                         ctx.config().wramBytes,
+                     "NTT working set exceeds WRAM; lower n");
+
+        // Tasklet 0 stages the twiddle tables (barrier on real HW).
+        if (ctx.id() == 0) {
+            for (std::uint32_t off = 0; off < poly_bytes; off += 2048) {
+                const std::uint32_t bytes =
+                    std::min<std::uint32_t>(2048, poly_bytes - off);
+                ctx.mramRead(kp.mramPsi + off, w_psi + off, bytes);
+                ctx.mramRead(kp.mramPsiInv + off, w_psi_inv + off,
+                             bytes);
+            }
+        }
+
+        const auto [begin, end] =
+            taskletRange(kp.count, ctx.id(), ctx.numTasklets());
+        const std::uint32_t wa = slice;
+        const std::uint32_t wb = slice + poly_bytes;
+
+        for (std::uint32_t pair = begin; pair < end; ++pair) {
+            const std::uint64_t off =
+                static_cast<std::uint64_t>(pair) * poly_bytes;
+            for (std::uint32_t o = 0; o < poly_bytes; o += 2048) {
+                const std::uint32_t bytes =
+                    std::min<std::uint32_t>(2048, poly_bytes - o);
+                ctx.mramRead(kp.mramA + off + o, wa + o, bytes);
+                ctx.mramRead(kp.mramB + off + o, wb + o, bytes);
+            }
+
+            nttForwardInPlace(ctx, kp, wa, w_psi);
+            nttForwardInPlace(ctx, kp, wb, w_psi);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const std::uint32_t prod = dpuModMul30(
+                    ctx, ctx.wramLoad32(wa + 4 * i),
+                    ctx.wramLoad32(wb + 4 * i), kp.p, kp.mu);
+                ctx.wramStore32(wa + 4 * i, prod);
+                ctx.charge(3);
+            }
+            nttInverseInPlace(ctx, kp, wa, w_psi_inv);
+
+            for (std::uint32_t o = 0; o < poly_bytes; o += 2048) {
+                const std::uint32_t bytes =
+                    std::min<std::uint32_t>(2048, poly_bytes - o);
+                ctx.mramWrite(wa + o, kp.mramOut + off + o, bytes);
+            }
+            ctx.charge(6);
+        }
+    };
+}
+
+/** Host-side helper: fill an NttKernelParams for a given (p, n). */
+inline NttKernelParams
+makeNttParams(std::uint32_t p, std::uint32_t n, std::uint32_t count)
+{
+    PIMHE_ASSERT(p < (1u << 30), "prime too wide for dpuModMul30");
+    PIMHE_ASSERT((p - 1) % (2 * n) == 0, "prime not NTT-friendly");
+    NttKernelParams kp;
+    kp.n = n;
+    kp.count = count;
+    kp.p = p;
+    kp.mu = static_cast<std::uint32_t>((static_cast<unsigned __int128>(1)
+                                        << 60) /
+                                       p);
+    kp.nInv = static_cast<std::uint32_t>(invMod64(n, p));
+    const std::uint64_t poly_bytes = static_cast<std::uint64_t>(n) * 4;
+    kp.mramPsi = 0;
+    kp.mramPsiInv = poly_bytes;
+    kp.mramA = 2 * poly_bytes;
+    kp.mramB = kp.mramA + count * poly_bytes;
+    kp.mramOut = kp.mramB + count * poly_bytes;
+    return kp;
+}
+
+} // namespace pimhe_kernels
+} // namespace pimhe
+
+#endif // PIMHE_PIMHE_NTT_KERNEL_H

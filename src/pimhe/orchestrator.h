@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Host-side orchestration of homomorphic operations on the PIM system.
+ *
+ * PimHeSystem is the library's main entry point for the paper's
+ * deployment model: ciphertext vectors are partitioned across DPUs,
+ * staged into MRAM, processed by the kernels in kernels.h, and read
+ * back. All results are bit-exact with the host Evaluator (the
+ * simulator is functional), and every launch leaves a modelled-time
+ * record behind.
+ */
+
+#ifndef PIMHE_PIMHE_ORCHESTRATOR_H
+#define PIMHE_PIMHE_ORCHESTRATOR_H
+
+#include <cstring>
+#include <vector>
+
+#include "bfv/ciphertext.h"
+#include "bfv/context.h"
+#include "pim/system.h"
+#include "pimhe/kernels.h"
+
+namespace pimhe {
+
+/** Pseudo-Mersenne shape (q = 2^k - c) of a modulus. */
+template <std::size_t N>
+struct PseudoMersenne
+{
+    std::size_t k = 0;
+    std::uint32_t c = 0;
+
+    static PseudoMersenne
+    of(const WideInt<N> &q)
+    {
+        PseudoMersenne pm;
+        pm.k = q.bitLength();
+        const WideInt<N> diff = WideInt<N>::oneShl(pm.k) - q;
+        PIMHE_ASSERT(diff.fitsUint64() && diff.toUint64() >> 32 == 0,
+                     "modulus is not pseudo-Mersenne with 32-bit c");
+        pm.c = static_cast<std::uint32_t>(diff.toUint64());
+        return pm;
+    }
+};
+
+/**
+ * PIM-backed homomorphic vector operations over a BFV context.
+ *
+ * @tparam N Coefficient limb count.
+ */
+template <std::size_t N>
+class PimHeSystem
+{
+  public:
+    /**
+     * @param ctx      BFV context (moduli must be pseudo-Mersenne).
+     * @param cfg      PIM system parameters.
+     * @param num_dpus DPUs to allocate from the system.
+     * @param tasklets Tasklets per DPU (paper: saturates at 11).
+     */
+    PimHeSystem(const BfvContext<N> &ctx, const pim::SystemConfig &cfg,
+                std::size_t num_dpus, unsigned tasklets = 12)
+        : ctx_(ctx), dpus_(cfg, num_dpus), tasklets_(tasklets),
+          pm_(PseudoMersenne<N>::of(ctx.ring().modulus()))
+    {
+        static_assert(N <= 4, "kernels support up to 128-bit widths");
+    }
+
+    const pim::DpuSet &dpuSet() const { return dpus_; }
+    pim::DpuSet &dpuSet() { return dpus_; }
+    unsigned tasklets() const { return tasklets_; }
+
+    /**
+     * Homomorphic addition of two equal-length ciphertext vectors,
+     * executed elementwise on the PIM system.
+     */
+    std::vector<Ciphertext<N>>
+    addCiphertextVectors(const std::vector<Ciphertext<N>> &a,
+                         const std::vector<Ciphertext<N>> &b)
+    {
+        return elementwise(a, b, /*multiply=*/false);
+    }
+
+    /**
+     * Coefficient-wise modular product of two ciphertext vectors —
+     * the paper's vector-multiplication microbenchmark (the building
+     * block of polynomial products on PIM).
+     */
+    std::vector<Ciphertext<N>>
+    mulCoefficientwise(const std::vector<Ciphertext<N>> &a,
+                       const std::vector<Ciphertext<N>> &b)
+    {
+        return elementwise(a, b, /*multiply=*/true);
+    }
+
+    /**
+     * Sum a vector of ciphertexts into one (homomorphic reduction):
+     * each DPU reduces its local slice with the add kernel and the
+     * host folds the per-DPU partials. Used by the statistical
+     * workloads (arithmetic mean, variance).
+     */
+    Ciphertext<N>
+    reduceCiphertexts(const std::vector<Ciphertext<N>> &cts)
+    {
+        PIMHE_ASSERT(!cts.empty(), "empty reduction");
+        // Tree reduction via repeated halving with the vector-add
+        // kernel; odd leftovers pass through untouched.
+        std::vector<Ciphertext<N>> cur = cts;
+        while (cur.size() > 1) {
+            const std::size_t half = cur.size() / 2;
+            std::vector<Ciphertext<N>> lo(cur.begin(),
+                                          cur.begin() + half);
+            std::vector<Ciphertext<N>> hi(cur.begin() + half,
+                                          cur.begin() + 2 * half);
+            auto sums = addCiphertextVectors(lo, hi);
+            if (cur.size() % 2)
+                sums.push_back(cur.back());
+            cur = std::move(sums);
+        }
+        return cur.front();
+    }
+
+    /** Total modelled PIM time accumulated so far (ms). */
+    double totalModeledMs() const { return dpus_.totalModeledMs(); }
+
+  private:
+    std::vector<Ciphertext<N>>
+    elementwise(const std::vector<Ciphertext<N>> &a,
+                const std::vector<Ciphertext<N>> &b, bool multiply)
+    {
+        PIMHE_ASSERT(a.size() == b.size() && !a.empty(),
+                     "operand vectors must be equal-length, non-empty");
+        const std::size_t n = ctx_.ring().degree();
+        const std::size_t comps = a.front().size();
+        for (std::size_t i = 0; i < a.size(); ++i)
+            PIMHE_ASSERT(a[i].size() == comps && b[i].size() == comps,
+                         "ragged ciphertext vectors");
+
+        // Flatten into per-DPU balanced coefficient arrays (padded
+        // with zeros so every DPU runs the same shape).
+        const std::size_t total_elems = a.size() * comps * n;
+        const std::size_t num_dpus = dpus_.size();
+        const std::size_t per_dpu =
+            (total_elems + num_dpus - 1) / num_dpus;
+        const std::size_t elem_bytes = N * 4;
+        const std::size_t arr_bytes = per_dpu * elem_bytes;
+
+        pimhe_kernels::VecKernelParams kp;
+        kp.mramA = 0;
+        kp.mramB = arr_bytes;
+        kp.mramOut = 2 * arr_bytes;
+        kp.elems = static_cast<std::uint32_t>(per_dpu);
+        kp.limbs = N;
+        kp.k = static_cast<std::uint32_t>(pm_.k);
+        kp.c = pm_.c;
+        for (std::size_t l = 0; l < N; ++l)
+            kp.q[l] = ctx_.ring().modulus().limb(l);
+
+        // Stage operands.
+        std::vector<std::uint8_t> buf(arr_bytes);
+        for (std::size_t d = 0; d < num_dpus; ++d) {
+            flattenSlice(a, d * per_dpu, per_dpu, buf);
+            dpus_.copyToMram(d, kp.mramA, buf);
+            flattenSlice(b, d * per_dpu, per_dpu, buf);
+            dpus_.copyToMram(d, kp.mramB, buf);
+        }
+
+        dpus_.launch(tasklets_,
+                     multiply
+                         ? pimhe_kernels::makeVecMulModQKernel(kp)
+                         : pimhe_kernels::makeVecAddModQKernel(kp));
+
+        // Collect results.
+        std::vector<Ciphertext<N>> out(a.size());
+        for (auto &ct : out)
+            for (std::size_t cidx = 0; cidx < comps; ++cidx)
+                ct.comps.emplace_back(n);
+        for (std::size_t d = 0; d < num_dpus; ++d) {
+            dpus_.copyFromMram(d, kp.mramOut, buf);
+            unflattenSlice(buf, d * per_dpu, per_dpu, out);
+        }
+        return out;
+    }
+
+    /** Copy elements [begin, begin+count) of the flat view into buf. */
+    void
+    flattenSlice(const std::vector<Ciphertext<N>> &cts,
+                 std::size_t begin, std::size_t count,
+                 std::vector<std::uint8_t> &buf) const
+    {
+        const std::size_t n = ctx_.ring().degree();
+        const std::size_t comps = cts.front().size();
+        std::fill(buf.begin(), buf.end(), 0);
+        for (std::size_t e = 0; e < count; ++e) {
+            const std::size_t flat = begin + e;
+            if (flat >= cts.size() * comps * n)
+                break;
+            const auto &coeff =
+                cts[flat / (comps * n)][(flat / n) % comps]
+                   [flat % n];
+            for (std::size_t l = 0; l < N; ++l) {
+                const std::uint32_t v = coeff.limb(l);
+                std::memcpy(buf.data() + e * N * 4 + l * 4, &v, 4);
+            }
+        }
+    }
+
+    /** Inverse of flattenSlice into the output ciphertexts. */
+    void
+    unflattenSlice(const std::vector<std::uint8_t> &buf,
+                   std::size_t begin, std::size_t count,
+                   std::vector<Ciphertext<N>> &out) const
+    {
+        const std::size_t n = ctx_.ring().degree();
+        const std::size_t comps = out.front().size();
+        for (std::size_t e = 0; e < count; ++e) {
+            const std::size_t flat = begin + e;
+            if (flat >= out.size() * comps * n)
+                break;
+            WideInt<N> coeff;
+            for (std::size_t l = 0; l < N; ++l) {
+                std::uint32_t v;
+                std::memcpy(&v, buf.data() + e * N * 4 + l * 4, 4);
+                coeff.setLimb(l, v);
+            }
+            out[flat / (comps * n)][(flat / n) % comps][flat % n] =
+                coeff;
+        }
+    }
+
+    const BfvContext<N> &ctx_;
+    pim::DpuSet dpus_;
+    unsigned tasklets_;
+    PseudoMersenne<N> pm_;
+};
+
+/**
+ * ExactConvolver backed by the PIM negacyclic convolution kernel:
+ * plugging this into a BfvContext runs every BFV tensor product on
+ * the simulated PIM system, bit-exact with the host engines.
+ */
+template <std::size_t N>
+class PimConvolver : public ExactConvolver<N>
+{
+  public:
+    /**
+     * @param ring     Ring the products live in.
+     * @param cfg      PIM system configuration.
+     * @param tasklets Tasklets for the convolution kernel.
+     */
+    PimConvolver(const RingContext<N> &ring,
+                 const pim::SystemConfig &cfg, unsigned tasklets = 12)
+        : ring_(ring), dpus_(cfg, 1), tasklets_(tasklets)
+    {}
+
+    std::vector<U256>
+    convolveCentered(const Polynomial<N> &a,
+                     const Polynomial<N> &b) const override
+    {
+        const std::size_t n = ring_.degree();
+        pimhe_kernels::ConvKernelParams kp;
+        kp.n = static_cast<std::uint32_t>(n);
+        kp.limbs = N;
+        for (std::size_t l = 0; l < N; ++l)
+            kp.q[l] = ring_.modulus().limb(l);
+        const WideInt<N> half = ring_.modulus().shr(1);
+        for (std::size_t l = 0; l < N; ++l)
+            kp.halfQ[l] = half.limb(l);
+        const std::size_t elem_bytes = N * 4;
+        kp.mramA = 0;
+        kp.mramB = n * elem_bytes;
+        kp.mramOut = 2 * n * elem_bytes;
+
+        auto &dpus = const_cast<pim::DpuSet &>(dpus_);
+        dpus.copyToMram(0, kp.mramA, flatten(a));
+        dpus.copyToMram(0, kp.mramB, flatten(b));
+        dpus.launch(tasklets_,
+                    pimhe_kernels::makeNegacyclicConvKernel(kp));
+
+        const std::size_t acc_limbs = kp.accLimbs();
+        std::vector<std::uint8_t> buf(n * acc_limbs * 4);
+        dpus.copyFromMram(0, kp.mramOut, buf);
+
+        // Truncating to (or sign-extending up to) 256 bits preserves
+        // the two's-complement value: |coeff| < n * q^2 < 2^255.
+        std::vector<U256> out(n);
+        const std::size_t read_limbs = std::min<std::size_t>(acc_limbs,
+                                                             8);
+        for (std::size_t i = 0; i < n; ++i) {
+            U256 v;
+            std::uint32_t top = 0;
+            for (std::size_t l = 0; l < read_limbs; ++l) {
+                std::memcpy(&top,
+                            buf.data() + (i * acc_limbs + l) * 4, 4);
+                v.setLimb(l, top);
+            }
+            if ((top & 0x80000000u) != 0)
+                for (std::size_t l = read_limbs; l < 8; ++l)
+                    v.setLimb(l, 0xFFFFFFFFu);
+            out[i] = v;
+        }
+        return out;
+    }
+
+    std::string name() const override { return "pim-schoolbook"; }
+
+    /** Modelled PIM time spent in convolutions so far (ms). */
+    double totalModeledMs() const { return dpus_.totalModeledMs(); }
+
+  private:
+    std::vector<std::uint8_t>
+    flatten(const Polynomial<N> &p) const
+    {
+        std::vector<std::uint8_t> buf(p.size() * N * 4);
+        for (std::size_t i = 0; i < p.size(); ++i)
+            for (std::size_t l = 0; l < N; ++l) {
+                const std::uint32_t v = p[i].limb(l);
+                std::memcpy(buf.data() + (i * N + l) * 4, &v, 4);
+            }
+        return buf;
+    }
+
+    const RingContext<N> &ring_;
+    mutable pim::DpuSet dpus_;
+    unsigned tasklets_;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_PIMHE_ORCHESTRATOR_H

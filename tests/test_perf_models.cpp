@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Sanity and qualitative-ordering tests for the platform models: the
+ * paper's key takeaways, asserted as code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/engines.h"
+#include "workloads/timing.h"
+
+namespace pimhe {
+namespace {
+
+using perf::OpKind;
+
+class PlatformSuiteTest : public ::testing::Test
+{
+  protected:
+    baselines::PlatformSuite suite;
+};
+
+TEST_F(PlatformSuiteTest, NamesMatchFigureLabels)
+{
+    const auto models = suite.all();
+    ASSERT_EQ(models.size(), 4u);
+    EXPECT_EQ(models[0]->name(), "CPU");
+    EXPECT_EQ(models[1]->name(), "PIM");
+    EXPECT_EQ(models[2]->name(), "CPU-SEAL");
+    EXPECT_EQ(models[3]->name(), "GPU");
+}
+
+TEST_F(PlatformSuiteTest, AllTimesArePositiveAndFinite)
+{
+    for (const auto *m : suite.all()) {
+        for (const auto op : {OpKind::VecAdd, OpKind::VecMul}) {
+            for (const std::size_t limbs : {1ul, 2ul, 4ul}) {
+                const double t =
+                    m->elementwiseMs(op, limbs, 1 << 20, 256)
+                        .totalMs();
+                EXPECT_GT(t, 0) << m->name();
+                EXPECT_TRUE(std::isfinite(t)) << m->name();
+            }
+        }
+        const double c = m->convolutionMs(1024, 4, 10).totalMs();
+        EXPECT_GT(c, 0) << m->name();
+    }
+}
+
+TEST_F(PlatformSuiteTest, BreakdownTotalsCompose)
+{
+    const auto b =
+        suite.gpu().elementwiseMs(OpKind::VecAdd, 4, 1 << 22);
+    EXPECT_DOUBLE_EQ(b.totalMs(),
+                     std::max(b.computeMs, b.memoryMs) +
+                         b.transferMs + b.overheadMs);
+}
+
+// ----- Key Takeaway 1: PIM wins homomorphic addition everywhere ----
+
+TEST_F(PlatformSuiteTest, PimWinsAdditionAtEveryWidthAndScale)
+{
+    for (const std::size_t limbs : {1ul, 2ul, 4ul}) {
+        const std::size_t n = limbs == 1 ? 1024 : limbs == 2 ? 2048
+                                                             : 4096;
+        for (const std::size_t cts : {20480ul, 81920ul, 327680ul}) {
+            const std::size_t elems = cts * 2 * n;
+            const double pim = suite.pim()
+                                   .elementwiseMs(OpKind::VecAdd,
+                                                  limbs, elems, cts)
+                                   .totalMs();
+            for (const auto *other :
+                 {static_cast<const perf::PlatformModel *>(
+                      &suite.cpu()),
+                  static_cast<const perf::PlatformModel *>(
+                      &suite.seal()),
+                  static_cast<const perf::PlatformModel *>(
+                      &suite.gpu())}) {
+                const double t = other
+                                     ->elementwiseMs(OpKind::VecAdd,
+                                                     limbs, elems,
+                                                     cts)
+                                     .totalMs();
+                EXPECT_GT(t, pim)
+                    << other->name() << " limbs=" << limbs
+                    << " cts=" << cts;
+            }
+        }
+    }
+}
+
+TEST_F(PlatformSuiteTest, AdditionSpeedupsInsidePaperBands)
+{
+    // Fig. 1(a) text: PIM outperforms CPU 20-150x, SEAL 35-80x; the
+    // intro quotes 2-15x over GPU for addition.
+    const std::size_t elems = 81920 * 2 * 4096;
+    const std::size_t cts = 81920 * 2;
+    const double pim =
+        suite.pim()
+            .elementwiseMs(OpKind::VecAdd, 4, elems, cts)
+            .totalMs();
+    const double cpu =
+        suite.cpu()
+            .elementwiseMs(OpKind::VecAdd, 4, elems, cts)
+            .totalMs();
+    const double seal =
+        suite.seal()
+            .elementwiseMs(OpKind::VecAdd, 4, elems, cts)
+            .totalMs();
+    const double gpu =
+        suite.gpu()
+            .elementwiseMs(OpKind::VecAdd, 4, elems, cts)
+            .totalMs();
+    EXPECT_GE(cpu / pim, 20.0);
+    EXPECT_LE(cpu / pim, 150.0);
+    EXPECT_GE(seal / pim, 35.0);
+    EXPECT_LE(seal / pim, 80.0);
+    EXPECT_GE(gpu / pim, 2.0);
+    EXPECT_LE(gpu / pim, 15.0);
+}
+
+// ----- Key Takeaway 2: multiplication flips the ordering -----------
+
+TEST_F(PlatformSuiteTest, GpuAndSealBeatPimOnWideMultiplication)
+{
+    const std::size_t elems = 81920 * 2 * 4096;
+    const std::size_t cts = 81920 * 2;
+    const double pim =
+        suite.pim()
+            .elementwiseMs(OpKind::VecMul, 4, elems, cts)
+            .totalMs();
+    const double cpu =
+        suite.cpu()
+            .elementwiseMs(OpKind::VecMul, 4, elems, cts)
+            .totalMs();
+    const double seal =
+        suite.seal()
+            .elementwiseMs(OpKind::VecMul, 4, elems, cts)
+            .totalMs();
+    const double gpu =
+        suite.gpu()
+            .elementwiseMs(OpKind::VecMul, 4, elems, cts)
+            .totalMs();
+    // CPU 40-50x slower than PIM (paper band).
+    EXPECT_GE(cpu / pim, 40.0);
+    EXPECT_LE(cpu / pim, 50.0);
+    // SEAL 2-4x faster than PIM at 128 bits.
+    EXPECT_GE(pim / seal, 2.0);
+    EXPECT_LE(pim / seal, 4.0);
+    // GPU 12-15x faster than PIM.
+    EXPECT_GE(pim / gpu, 12.0);
+    EXPECT_LE(pim / gpu, 15.0);
+}
+
+TEST_F(PlatformSuiteTest, SealAdvantageGrowsWithWidth)
+{
+    // Paper: PIM beats SEAL at 32-bit multiplication but loses at
+    // 64/128 bits — the relative SEAL advantage must increase with
+    // width.
+    const auto ratio = [&](std::size_t limbs, std::size_t n) {
+        const std::size_t cts = 20480 * 2;
+        const std::size_t elems = cts * n;
+        const double pim = suite.pim()
+                               .elementwiseMs(OpKind::VecMul, limbs,
+                                              elems, cts)
+                               .totalMs();
+        const double seal = suite.seal()
+                                .elementwiseMs(OpKind::VecMul, limbs,
+                                               elems, cts)
+                                .totalMs();
+        return seal / pim;
+    };
+    const double r32 = ratio(1, 1024);
+    const double r64 = ratio(2, 2048);
+    const double r128 = ratio(4, 4096);
+    EXPECT_GT(r32, r64);
+    EXPECT_GT(r64, r128);
+    EXPECT_GE(r32, 0.9) << "PIM roughly matches or beats SEAL at 32b";
+    EXPECT_LT(r128, 0.5) << "SEAL clearly wins at 128b";
+}
+
+TEST_F(PlatformSuiteTest, NativeMulAblationWouldBeatSeal)
+{
+    // Key Takeaway 2's forward-looking claim: with native 32-bit
+    // multipliers, PIM multiplication would outperform the CPU
+    // baselines.
+    pim::SystemConfig gen2 = pim::paperSystem();
+    gen2.dpu.nativeMul32 = true;
+    PimCostModel future(gen2, 12);
+    const std::size_t elems = 81920 * 2 * 4096;
+    const double pim =
+        future.elementwiseMs(OpKind::VecMul, 4, elems).totalMs();
+    const double seal =
+        suite.seal()
+            .elementwiseMs(OpKind::VecMul, 4, elems, 81920 * 2)
+            .totalMs();
+    EXPECT_LT(pim, seal);
+}
+
+// ----- workload-level orderings (Figure 2) -------------------------
+
+TEST_F(PlatformSuiteTest, MeanOrderingMatchesFigure2a)
+{
+    for (const std::size_t users : {640ul, 1280ul, 2560ul}) {
+        workloads::WorkloadShape s;
+        s.users = users;
+        const double pim = workloads::meanTimeMs(suite.pim(), s);
+        const double cpu = workloads::meanTimeMs(suite.cpu(), s);
+        const double seal = workloads::meanTimeMs(suite.seal(), s);
+        const double gpu = workloads::meanTimeMs(suite.gpu(), s);
+        EXPECT_GT(cpu / pim, 1.0) << users;
+        EXPECT_GT(seal / pim, 1.0) << users;
+        EXPECT_GT(gpu / pim, 1.0) << users;
+    }
+}
+
+TEST_F(PlatformSuiteTest, VarianceOrderingMatchesFigure2b)
+{
+    workloads::WorkloadShape s;
+    s.users = 1280;
+    const double pim = workloads::varianceTimeMs(suite.pim(), s);
+    const double cpu = workloads::varianceTimeMs(suite.cpu(), s);
+    const double seal = workloads::varianceTimeMs(suite.seal(), s);
+    const double gpu = workloads::varianceTimeMs(suite.gpu(), s);
+    // PIM beats only the custom CPU; SEAL and GPU beat PIM.
+    EXPECT_GT(cpu / pim, 6.0);
+    EXPECT_LT(cpu / pim, 25.0);
+    EXPECT_GT(pim / seal, 2.0);
+    EXPECT_LT(pim / seal, 10.0);
+    EXPECT_GT(pim / gpu, 13.0);
+    EXPECT_LT(pim / gpu, 50.0);
+}
+
+TEST_F(PlatformSuiteTest, LinregOrderingMatchesFigure2c)
+{
+    workloads::WorkloadShape s;
+    s.users = 640;
+    s.ctsPerUser = 64;
+    const double pim = workloads::linregTimeMs(suite.pim(), s);
+    const double cpu = workloads::linregTimeMs(suite.cpu(), s);
+    const double seal = workloads::linregTimeMs(suite.seal(), s);
+    const double gpu = workloads::linregTimeMs(suite.gpu(), s);
+    EXPECT_GT(cpu, pim) << "PIM beats the custom CPU";
+    EXPECT_GT(pim, seal) << "SEAL beats PIM (paper: 11.4x)";
+    EXPECT_GT(pim, gpu) << "GPU beats PIM (paper: 54.9x)";
+    EXPECT_NEAR(pim / seal, 11.4, 8.0);
+    EXPECT_NEAR(pim / gpu, 54.9, 35.0);
+}
+
+TEST_F(PlatformSuiteTest, PimWorkloadTimeFlatAcrossUsers)
+{
+    // Fig. 2 observation 4: PIM execution time remains roughly
+    // constant for different numbers of users.
+    workloads::WorkloadShape a, b;
+    a.users = 640;
+    b.users = 2560;
+    const double t_a = workloads::meanTimeMs(suite.pim(), a);
+    const double t_b = workloads::meanTimeMs(suite.pim(), b);
+    EXPECT_LT(t_b / t_a, 2.1);
+    const double c_a = workloads::meanTimeMs(suite.cpu(), a);
+    const double c_b = workloads::meanTimeMs(suite.cpu(), b);
+    EXPECT_GT(c_b / c_a, 3.0) << "CPU should scale with users";
+}
+
+TEST(EngineFactory, MakesAllKinds)
+{
+    RingContext<2> ring(16, standardParams<2>().q);
+    pim::SystemConfig cfg;
+    cfg.numDpus = 1;
+    const auto school = baselines::makeConvolver<2>(
+        baselines::EngineKind::CpuSchoolbook, ring);
+    const auto seal = baselines::makeConvolver<2>(
+        baselines::EngineKind::CpuSealLike, ring);
+    const auto pimconv = baselines::makeConvolver<2>(
+        baselines::EngineKind::PimSystem, ring, cfg);
+    EXPECT_EQ(school->name(), "schoolbook");
+    EXPECT_EQ(seal->name(), "rns-ntt");
+    EXPECT_EQ(pimconv->name(), "pim-schoolbook");
+
+    Rng rng(1);
+    const auto a = ring.sampleUniform(rng);
+    const auto b = ring.sampleUniform(rng);
+    const auto r1 = school->convolveCentered(a, b);
+    const auto r2 = seal->convolveCentered(a, b);
+    const auto r3 = pimconv->convolveCentered(a, b);
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(r1, r3);
+}
+
+} // namespace
+} // namespace pimhe

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the UPMEM-like PIM simulator: memories, intrinsics,
+ * the pipeline timing model and host transfer accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pim/system.h"
+#include "test_util.h"
+
+namespace pimhe {
+namespace {
+
+using namespace pimhe::pim;
+using pimhe::testing::kSeed;
+
+DpuConfig
+smallCfg()
+{
+    return DpuConfig{};
+}
+
+struct CtxHarness
+{
+    DpuConfig cfg = smallCfg();
+    Wram wram{cfg.wramBytes};
+    Mram mram{cfg.mramBytes};
+    TaskletStats stats;
+    TaskletCtx ctx{0, 1, cfg, wram, mram, stats};
+};
+
+TEST(Wram, Load32Store32RoundTrip)
+{
+    Wram w(64);
+    w.store32(0, 0xDEADBEEFu);
+    w.store32(60, 0x12345678u);
+    EXPECT_EQ(w.load32(0), 0xDEADBEEFu);
+    EXPECT_EQ(w.load32(60), 0x12345678u);
+    EXPECT_DEATH(w.load32(61), "out of range");
+    EXPECT_DEATH(w.store32(64, 1), "out of range");
+}
+
+TEST(Mram, LazyBackingAndBounds)
+{
+    Mram m(1 << 20);
+    std::uint8_t buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    m.write(1000, buf, 8);
+    std::uint8_t out[8] = {};
+    m.read(1000, out, 8);
+    EXPECT_EQ(std::memcmp(buf, out, 8), 0);
+    // Untouched regions read as zero.
+    m.read(5000, out, 8);
+    for (const auto b : out)
+        EXPECT_EQ(b, 0);
+    EXPECT_DEATH(m.write((1 << 20) - 4, buf, 8), "beyond capacity");
+}
+
+TEST(TaskletIntrinsics, AddCarryChain)
+{
+    CtxHarness h;
+    // 64-bit add from two 32-bit instructions, as the paper builds it.
+    const std::uint32_t lo = h.ctx.add(0xFFFFFFFFu, 1);
+    const std::uint32_t hi = h.ctx.addc(7, 0);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 8u);
+    EXPECT_EQ(h.ctx.carryFlag(), 0u);
+    EXPECT_EQ(h.stats.instructions, 2u);
+}
+
+TEST(TaskletIntrinsics, CarryPropagatesThroughChain)
+{
+    CtxHarness h;
+    // 0xFFFFFFFF'FFFFFFFF + 1 across two limbs.
+    const std::uint32_t l0 = h.ctx.add(0xFFFFFFFFu, 1);
+    const std::uint32_t l1 = h.ctx.addc(0xFFFFFFFFu, 0);
+    EXPECT_EQ(l0, 0u);
+    EXPECT_EQ(l1, 0u);
+    EXPECT_EQ(h.ctx.carryFlag(), 1u);
+}
+
+TEST(TaskletIntrinsics, SubBorrowChain)
+{
+    CtxHarness h;
+    const std::uint32_t l0 = h.ctx.sub(0, 1);
+    const std::uint32_t l1 = h.ctx.subb(5, 0);
+    EXPECT_EQ(l0, 0xFFFFFFFFu);
+    EXPECT_EQ(l1, 4u);
+    EXPECT_EQ(h.ctx.borrowFlag(), 0u);
+}
+
+TEST(TaskletIntrinsics, Mul8x8UsesLowBytes)
+{
+    CtxHarness h;
+    EXPECT_EQ(h.ctx.mul8x8(0x1FF, 0x102), 0xFF * 0x02);
+    EXPECT_EQ(h.stats.instructions, 1u);
+}
+
+TEST(TaskletIntrinsics, Mul32CostsShiftAndAddSequence)
+{
+    CtxHarness h;
+    const auto before = h.stats.instructions;
+    EXPECT_EQ(h.ctx.mul32(0xFFFFFFFFu, 0xFFFFFFFFu),
+              0xFFFFFFFEull << 32 | 1u);
+    const auto cost = h.stats.instructions - before;
+    EXPECT_EQ(cost, 36u) << "4 setup + 32 mul_step";
+}
+
+TEST(TaskletIntrinsics, NativeMul32AblationIsCheap)
+{
+    DpuConfig cfg;
+    cfg.nativeMul32 = true;
+    Wram w(cfg.wramBytes);
+    Mram m(cfg.mramBytes);
+    TaskletStats stats;
+    TaskletCtx ctx(0, 1, cfg, w, m, stats);
+    EXPECT_EQ(ctx.mul32(1234567, 7654321),
+              1234567ULL * 7654321ULL);
+    EXPECT_EQ(stats.instructions, 2u);
+}
+
+TEST(TaskletIntrinsics, LogicAndShifts)
+{
+    CtxHarness h;
+    EXPECT_EQ(h.ctx.lsl(1, 31), 0x80000000u);
+    EXPECT_EQ(h.ctx.lsl(1, 32), 0u);
+    EXPECT_EQ(h.ctx.lsr(0x80000000u, 31), 1u);
+    EXPECT_EQ(h.ctx.and_(0xF0F0u, 0xFF00u), 0xF000u);
+    EXPECT_EQ(h.ctx.or_(0x0F0Fu, 0xF000u), 0xFF0Fu);
+    EXPECT_EQ(h.ctx.xor_(0xFFFFu, 0x0F0Fu), 0xF0F0u);
+    EXPECT_TRUE(h.ctx.cmpLess(3, 5));
+    EXPECT_EQ(h.ctx.select(true, 7, 9), 7u);
+    EXPECT_EQ(h.ctx.select(false, 7, 9), 9u);
+}
+
+TEST(TaskletDma, TransfersAreValidatedAndAccounted)
+{
+    CtxHarness h;
+    std::uint8_t data[64];
+    for (int i = 0; i < 64; ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    h.mram.write(4096, data, 64);
+    h.ctx.mramRead(4096, 0, 64);
+    EXPECT_EQ(h.wram.load32(0), 0x03020100u);
+    EXPECT_EQ(h.stats.dmaTransfers, 1u);
+    EXPECT_EQ(h.stats.dmaBytes, 64u);
+    EXPECT_DOUBLE_EQ(h.stats.dmaStallCycles,
+                     h.cfg.dmaFixedCycles +
+                         h.cfg.dmaCyclesPerByte * 64);
+    // Bad sizes die.
+    EXPECT_DEATH(h.ctx.mramRead(0, 0, 4), "8..2048");
+    EXPECT_DEATH(h.ctx.mramRead(0, 0, 4096), "8..2048");
+    EXPECT_DEATH(h.ctx.mramRead(0, 0, 12), "8..2048");
+}
+
+TEST(TaskletDma, WriteBack)
+{
+    CtxHarness h;
+    h.wram.store32(16, 0xCAFEBABEu);
+    h.ctx.mramWrite(16, 8192, 8);
+    std::uint8_t out[8];
+    h.mram.read(8192, out, 8);
+    std::uint32_t v;
+    std::memcpy(&v, out, 4);
+    EXPECT_EQ(v, 0xCAFEBABEu);
+}
+
+// ----- pipeline timing model -----
+
+Kernel
+busyKernel(std::uint64_t instr_per_tasklet)
+{
+    return [instr_per_tasklet](TaskletCtx &ctx) {
+        ctx.charge(instr_per_tasklet);
+    };
+}
+
+TEST(DpuTiming, SingleTaskletIsDispatchBound)
+{
+    Dpu dpu(smallCfg());
+    const auto stats = dpu.run(1, busyKernel(1000));
+    EXPECT_DOUBLE_EQ(stats.cycles, 11.0 * 1000);
+}
+
+TEST(DpuTiming, ThroughputSaturatesAtElevenTasklets)
+{
+    // The paper's observation 1: performance saturates at 11 or more
+    // tasklets. With balanced work, T tasklets take
+    // max(T, 11) * I cycles for T*I total instructions.
+    Dpu dpu(smallCfg());
+    // Total work divisible by every tasklet count tested
+    // (LCM(1,2,4,8,11,16,24) = 528).
+    const std::uint64_t total = 528 * 1000;
+    std::vector<double> cycles;
+    for (unsigned t : {1u, 2u, 4u, 8u, 11u, 16u, 24u}) {
+        cycles.push_back(dpu.run(t, busyKernel(total / t)).cycles);
+    }
+    // Strictly improving below 11 tasklets...
+    EXPECT_GT(cycles[0], cycles[1]);
+    EXPECT_GT(cycles[1], cycles[2]);
+    EXPECT_GT(cycles[2], cycles[3]);
+    EXPECT_GT(cycles[3], cycles[4]);
+    // ...and flat at/after the saturation point.
+    EXPECT_DOUBLE_EQ(cycles[4], cycles[5]);
+    EXPECT_DOUBLE_EQ(cycles[5], cycles[6]);
+}
+
+TEST(DpuTiming, ImbalancedTaskletBoundsCriticalPath)
+{
+    Dpu dpu(smallCfg());
+    const auto stats = dpu.run(12, [](TaskletCtx &ctx) {
+        ctx.charge(ctx.id() == 0 ? 10000 : 10);
+    });
+    // Critical path: tasklet 0 is dispatch-bound at 11 cycles/instr.
+    EXPECT_DOUBLE_EQ(stats.cycles, 11.0 * 10000);
+}
+
+TEST(DpuTiming, DmaStallsExtendLatencyBoundTasklets)
+{
+    Dpu dpu(smallCfg());
+    const auto with_dma = dpu.run(1, [](TaskletCtx &ctx) {
+        ctx.charge(100);
+        ctx.mramRead(0, 0, 2048);
+    });
+    const auto without = dpu.run(1, busyKernel(101));
+    EXPECT_GT(with_dma.cycles, without.cycles);
+}
+
+TEST(DpuTiming, RejectsBadTaskletCounts)
+{
+    Dpu dpu(smallCfg());
+    EXPECT_DEATH(dpu.run(0, busyKernel(1)), "tasklet count");
+    EXPECT_DEATH(dpu.run(25, busyKernel(1)), "tasklet count");
+}
+
+// ----- system-level transfers and launches -----
+
+TEST(DpuSet, LaunchRecordsStats)
+{
+    SystemConfig cfg;
+    cfg.numDpus = 4;
+    DpuSet set(cfg, 4);
+    std::vector<std::uint8_t> buf(1024, 7);
+    for (std::size_t d = 0; d < 4; ++d)
+        set.copyToMram(d, 0, buf);
+    const auto &stats = set.launch(12, busyKernel(100));
+    EXPECT_EQ(stats.dpus.size(), 4u);
+    EXPECT_GT(stats.kernelMs, 0);
+    EXPECT_GT(stats.hostToDpuMs, 0);
+    EXPECT_DOUBLE_EQ(stats.launchOverheadMs,
+                     cfg.launchOverheadUs / 1e3);
+    // Downloads attach to the last launch.
+    std::vector<std::uint8_t> out(1024);
+    set.copyFromMram(0, 0, out);
+    EXPECT_GT(set.lastLaunch().dpuToHostMs, 0);
+    EXPECT_EQ(out[0], 7);
+}
+
+TEST(DpuSet, UploadsChargeTheNextLaunchOnly)
+{
+    SystemConfig cfg;
+    cfg.numDpus = 2;
+    DpuSet set(cfg, 2);
+    std::vector<std::uint8_t> buf(4096, 1);
+    set.copyToMram(0, 0, buf);
+    const auto first = set.launch(12, busyKernel(10)).hostToDpuMs;
+    EXPECT_GT(first, 0);
+    const auto second = set.launch(12, busyKernel(10)).hostToDpuMs;
+    EXPECT_DOUBLE_EQ(second, 0);
+}
+
+TEST(DpuSet, BroadcastReachesEveryDpu)
+{
+    SystemConfig cfg;
+    cfg.numDpus = 3;
+    DpuSet set(cfg, 3);
+    std::vector<std::uint8_t> buf(64, 0xAB);
+    set.broadcastToMram(128, buf);
+    for (std::size_t d = 0; d < 3; ++d) {
+        std::vector<std::uint8_t> out(64);
+        set.copyFromMram(d, 128, out);
+        EXPECT_EQ(out[5], 0xAB);
+    }
+}
+
+TEST(DpuSet, AllocationBounds)
+{
+    SystemConfig cfg;
+    cfg.numDpus = 4;
+    EXPECT_DEATH(DpuSet(cfg, 5), "cannot allocate");
+    EXPECT_DEATH(DpuSet(cfg, 0), "cannot allocate");
+    DpuSet ok(cfg, 4);
+    EXPECT_DEATH(ok.dpuAt(4), "out of range");
+}
+
+TEST(SystemConfig, PaperSystemShape)
+{
+    const auto cfg = paperSystem();
+    EXPECT_EQ(cfg.numDpus, 2524u);
+    EXPECT_DOUBLE_EQ(cfg.dpu.clockMhz, 425.0);
+    // 2,524 DPUs x 64 MB ~= 158 GB of PIM memory.
+    EXPECT_NEAR(cfg.totalMemoryBytes() / 1e9, 169.0, 10.0);
+    EXPECT_EQ(cfg.dpu.dispatchInterval, 11u);
+}
+
+} // namespace
+} // namespace pimhe

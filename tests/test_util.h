@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared fixtures and helpers for the PIM-HE test suite.
+ */
+
+#ifndef PIMHE_TESTS_TEST_UTIL_H
+#define PIMHE_TESTS_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include "bfv/context.h"
+#include "bfv/encryptor.h"
+#include "bfv/evaluator.h"
+#include "bfv/keys.h"
+#include "bfv/params.h"
+#include "common/rng.h"
+
+namespace pimhe {
+namespace testing {
+
+/** Deterministic seed base so failures reproduce. */
+constexpr std::uint64_t kSeed = 0xC0FFEE5EED;
+
+/** Random WideInt with all limbs uniform. */
+template <std::size_t N>
+WideInt<N>
+randomWide(Rng &rng)
+{
+    WideInt<N> w;
+    for (std::size_t i = 0; i < N; ++i)
+        w.setLimb(i, rng.next32());
+    return w;
+}
+
+/** Random WideInt reduced below the given modulus. */
+template <std::size_t N>
+WideInt<N>
+randomBelow(Rng &rng, const WideInt<N> &q)
+{
+    return mod(randomWide<N>(rng), q);
+}
+
+/**
+ * Everything needed to run BFV in a test, at a reduced ring degree so
+ * schoolbook paths stay fast.
+ */
+template <std::size_t N>
+struct BfvHarness
+{
+    BfvParams<N> params;
+    BfvContext<N> ctx;
+    Rng rng;
+    KeyGenerator<N> keygen;
+    PublicKey<N> pk;
+    Encryptor<N> enc;
+    Decryptor<N> dec;
+    Evaluator<N> eval;
+    IntegerEncoder encoder;
+
+    explicit
+    BfvHarness(std::size_t degree = 32, std::uint64_t seed = kSeed)
+        : params(standardParams<N>().withDegree(degree)),
+          ctx(params), rng(seed), keygen(ctx, rng),
+          pk(keygen.makePublicKey()), enc(ctx, pk, rng),
+          dec(ctx, keygen.secretKey()), eval(ctx),
+          encoder(params.t, params.n)
+    {}
+
+    Ciphertext<N>
+    encryptScalar(std::uint64_t v)
+    {
+        return enc.encrypt(encoder.encodeScalar(v));
+    }
+
+    std::uint64_t
+    decryptScalar(const Ciphertext<N> &ct)
+    {
+        return encoder.decodeScalar(dec.decrypt(ct));
+    }
+};
+
+} // namespace testing
+} // namespace pimhe
+
+#endif // PIMHE_TESTS_TEST_UTIL_H

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit and property tests for the multi-precision WideInt type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bigint/wide_int.h"
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace pimhe {
+namespace {
+
+using pimhe::testing::kSeed;
+using pimhe::testing::randomWide;
+
+TEST(WideInt, DefaultIsZero)
+{
+    EXPECT_TRUE(U128().isZero());
+    EXPECT_EQ(U128().bitLength(), 0u);
+    EXPECT_EQ(U128().toUint64(), 0u);
+}
+
+TEST(WideInt, ConstructFromUint64)
+{
+    const U128 v(0x123456789ABCDEF0ULL);
+    EXPECT_EQ(v.limb(0), 0x9ABCDEF0u);
+    EXPECT_EQ(v.limb(1), 0x12345678u);
+    EXPECT_EQ(v.limb(2), 0u);
+    EXPECT_EQ(v.toUint64(), 0x123456789ABCDEF0ULL);
+    EXPECT_TRUE(v.fitsUint64());
+}
+
+TEST(WideInt, SingleLimbRejectsWideValue)
+{
+    EXPECT_DEATH(U32(0x1FFFFFFFFULL), "does not fit");
+}
+
+TEST(WideInt, MaxValueAndOneShl)
+{
+    EXPECT_EQ(U64::maxValue().toUint64(), ~0ULL);
+    EXPECT_EQ(U128::oneShl(0).toUint64(), 1u);
+    EXPECT_EQ(U128::oneShl(64).limb(2), 1u);
+    EXPECT_EQ(U128::oneShl(127).limb(3), 0x80000000u);
+    EXPECT_EQ(U128::oneShl(100).bitLength(), 101u);
+}
+
+TEST(WideInt, AdditionCarriesAcrossLimbs)
+{
+    U128 a;
+    a.setLimb(0, 0xFFFFFFFFu);
+    a.setLimb(1, 0xFFFFFFFFu);
+    const U128 sum = a + U128(1ULL);
+    EXPECT_EQ(sum.limb(0), 0u);
+    EXPECT_EQ(sum.limb(1), 0u);
+    EXPECT_EQ(sum.limb(2), 1u);
+}
+
+TEST(WideInt, AdditionWrapsAtFullWidth)
+{
+    const U64 max = U64::maxValue();
+    EXPECT_TRUE((max + U64(1ULL)).isZero());
+    U64 copy = max;
+    EXPECT_EQ(copy.addInPlace(U64(1ULL)), 1u) << "carry-out expected";
+}
+
+TEST(WideInt, SubtractionBorrows)
+{
+    const U128 z = U128(5ULL) - U128(7ULL);
+    // Wraps to 2^128 - 2.
+    EXPECT_EQ(z.limb(0), 0xFFFFFFFEu);
+    EXPECT_EQ(z.limb(3), 0xFFFFFFFFu);
+    U128 copy(5ULL);
+    EXPECT_EQ(copy.subInPlace(U128(7ULL)), 1u) << "borrow expected";
+}
+
+TEST(WideInt, ComparisonOrdersLexicographically)
+{
+    const U128 small(42ULL);
+    const U128 big = U128::oneShl(100);
+    EXPECT_LT(small, big);
+    EXPECT_GT(big, small);
+    EXPECT_EQ(small, U128(42ULL));
+    EXPECT_LE(small, small);
+}
+
+TEST(WideInt, ShiftsMatchMultiplication)
+{
+    const U128 v(0x1234ULL);
+    EXPECT_EQ(v.shl(4).toUint64(), 0x12340ULL);
+    EXPECT_EQ(v.shl(64).limb(2), 0x1234u);
+    EXPECT_EQ(v.shl(128).isZero(), true);
+    EXPECT_EQ(v.shr(4).toUint64(), 0x123ULL);
+    EXPECT_EQ(U128::oneShl(127).shr(127).toUint64(), 1u);
+    EXPECT_TRUE(v.shr(128).isZero());
+}
+
+TEST(WideInt, ShiftRoundTrip)
+{
+    Rng rng(kSeed);
+    for (int it = 0; it < 100; ++it) {
+        const U256 v = randomWide<8>(rng);
+        const std::size_t s = rng.uniform(120);
+        EXPECT_EQ(v.shl(s).shr(s),
+                  v & (U256::maxValue().shr(s)))
+            << "shift by " << s;
+    }
+}
+
+TEST(WideInt, BitAccessors)
+{
+    U128 v;
+    v.setLimb(2, 0x10u);
+    EXPECT_TRUE(v.bit(68));
+    EXPECT_FALSE(v.bit(67));
+    EXPECT_EQ(v.bitLength(), 69u);
+    EXPECT_FALSE(v.bit(500));
+}
+
+TEST(WideInt, MulFullKnownValues)
+{
+    const U64 a(0xFFFFFFFFULL);
+    const auto p = a.mulFull(a);
+    // (2^32 - 1)^2 = 2^64 - 2^33 + 1 = 0xFFFFFFFE_00000001
+    EXPECT_EQ(p.limb(0), 1u);
+    EXPECT_EQ(p.limb(1), 0xFFFFFFFEu);
+    EXPECT_EQ(p.limb(2), 0u);
+    EXPECT_EQ(p.limb(3), 0u);
+}
+
+TEST(WideInt, MulMatchesUint64)
+{
+    Rng rng(kSeed);
+    for (int it = 0; it < 200; ++it) {
+        const std::uint64_t a = rng.next64() >> 33;
+        const std::uint64_t b = rng.next64() >> 33;
+        EXPECT_EQ((U64(a) * U64(b)).toUint64(), a * b);
+    }
+}
+
+template <typename T>
+class WideIntWidths : public ::testing::Test
+{
+};
+
+using Widths = ::testing::Types<WideInt<1>, WideInt<2>, WideInt<4>,
+                                WideInt<8>>;
+TYPED_TEST_SUITE(WideIntWidths, Widths);
+
+TYPED_TEST(WideIntWidths, KaratsubaMatchesSchoolbook)
+{
+    Rng rng(kSeed + TypeParam::numLimbs);
+    for (int it = 0; it < 300; ++it) {
+        TypeParam a, b;
+        for (std::size_t i = 0; i < TypeParam::numLimbs; ++i) {
+            a.setLimb(i, rng.next32());
+            b.setLimb(i, rng.next32());
+        }
+        EXPECT_EQ(a.mulKaratsuba(b), a.mulFull(b)) << "iter " << it;
+    }
+}
+
+TYPED_TEST(WideIntWidths, KaratsubaEdgeOperands)
+{
+    const TypeParam zero;
+    const TypeParam one(1ULL);
+    const TypeParam max = TypeParam::maxValue();
+    EXPECT_TRUE(zero.mulKaratsuba(max).isZero());
+    EXPECT_EQ(one.mulKaratsuba(max),
+              max.template convert<2 * TypeParam::numLimbs>());
+    EXPECT_EQ(max.mulKaratsuba(max), max.mulFull(max));
+}
+
+TYPED_TEST(WideIntWidths, AdditionCommutesAndAssociates)
+{
+    Rng rng(kSeed);
+    for (int it = 0; it < 100; ++it) {
+        TypeParam a, b, c;
+        for (std::size_t i = 0; i < TypeParam::numLimbs; ++i) {
+            a.setLimb(i, rng.next32());
+            b.setLimb(i, rng.next32());
+            c.setLimb(i, rng.next32());
+        }
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ((a + b) - b, a);
+    }
+}
+
+TYPED_TEST(WideIntWidths, DivmodInvariant)
+{
+    Rng rng(kSeed + 7);
+    for (int it = 0; it < 300; ++it) {
+        TypeParam u, v;
+        for (std::size_t i = 0; i < TypeParam::numLimbs; ++i)
+            u.setLimb(i, rng.next32());
+        // Divisors of assorted magnitudes, including single-limb.
+        const std::size_t v_limbs =
+            1 + rng.uniform(TypeParam::numLimbs);
+        for (std::size_t i = 0; i < v_limbs; ++i)
+            v.setLimb(i, rng.next32());
+        if (v.isZero())
+            v = TypeParam(1ULL);
+        const auto [q, r] = divmod(u, v);
+        EXPECT_LT(r, v) << "iter " << it;
+        // u == q * v + r (wrapping arithmetic is exact here since
+        // the true value fits the width).
+        EXPECT_EQ(q * v + r, u) << "iter " << it;
+    }
+}
+
+TEST(WideInt, DivmodKnownCases)
+{
+    EXPECT_EQ(divmod(U128(100ULL), U128(7ULL)).first.toUint64(), 14u);
+    EXPECT_EQ(divmod(U128(100ULL), U128(7ULL)).second.toUint64(), 2u);
+    // Dividend smaller than divisor.
+    const auto [q, r] = divmod(U128(3ULL), U128::oneShl(100));
+    EXPECT_TRUE(q.isZero());
+    EXPECT_EQ(r.toUint64(), 3u);
+    // Exact division by a power of two.
+    EXPECT_EQ(divmod(U128::oneShl(100), U128::oneShl(50)).first,
+              U128::oneShl(50));
+}
+
+TEST(WideInt, DivmodByZeroDies)
+{
+    EXPECT_DEATH(divmod(U128(1ULL), U128()), "division by zero");
+    EXPECT_DEATH(U128(1ULL).divmodSmall(0), "division by zero");
+}
+
+TEST(WideInt, DivmodRequiresAddBackCase)
+{
+    // Crafted to exercise the rare Knuth D6 add-back path: divisor
+    // with high limb 0x80000000 and dividend just below a multiple.
+    U128 v;
+    v.setLimb(2, 0x80000000u);
+    U128 u = v.shl(1) - U128(1ULL);
+    const auto [q, r] = divmod(u, v);
+    EXPECT_EQ(q.toUint64(), 1u);
+    EXPECT_EQ(r, v - U128(1ULL));
+}
+
+TEST(WideInt, DecimalStringRoundTrip)
+{
+    Rng rng(kSeed + 11);
+    for (int it = 0; it < 50; ++it) {
+        const U256 v = randomWide<8>(rng);
+        EXPECT_EQ(U256::fromDecimalString(v.toDecimalString()), v);
+    }
+    EXPECT_EQ(U128::fromDecimalString("0").toUint64(), 0u);
+    EXPECT_EQ(U128::fromDecimalString(
+                  "340282366920938463463374607431768211455"),
+              U128::maxValue());
+}
+
+TEST(WideInt, HexString)
+{
+    EXPECT_EQ(U128().toHexString(), "0x0");
+    EXPECT_EQ(U128(0xDEADBEEFULL).toHexString(), "0xdeadbeef");
+    EXPECT_EQ(U128::oneShl(64).toHexString(), "0x10000000000000000");
+}
+
+TEST(WideInt, ConvertWidensAndTruncates)
+{
+    const U64 v(0x1122334455667788ULL);
+    EXPECT_EQ(v.convert<4>().toUint64(), 0x1122334455667788ULL);
+    EXPECT_EQ(v.convert<1>().limb(0), 0x55667788u);
+    const U128 big = U128::oneShl(100);
+    EXPECT_TRUE(big.convert<2>().isZero());
+}
+
+TEST(WideInt, HalvesRecombine)
+{
+    Rng rng(kSeed);
+    const U128 v = randomWide<4>(rng);
+    const U64 lo = v.lowHalf<2>();
+    const U64 hi = v.highHalf<2>();
+    EXPECT_EQ(lo.limb(0), v.limb(0));
+    EXPECT_EQ(hi.limb(1), v.limb(3));
+    U128 re = hi.convert<4>().shl(64) | lo.convert<4>();
+    EXPECT_EQ(re, v);
+}
+
+TEST(WideInt, DivmodSmallMatchesDivmod)
+{
+    Rng rng(kSeed + 3);
+    for (int it = 0; it < 100; ++it) {
+        const U256 u = randomWide<8>(rng);
+        const std::uint32_t d =
+            static_cast<std::uint32_t>(rng.next32() | 1);
+        const auto [q1, r1] = u.divmodSmall(d);
+        const auto [q2, r2] =
+            divmod(u, U256(static_cast<std::uint64_t>(d)));
+        EXPECT_EQ(q1, q2);
+        EXPECT_EQ(static_cast<std::uint64_t>(r1), r2.toUint64());
+    }
+}
+
+} // namespace
+} // namespace pimhe

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Functional correctness of the statistical workloads: encrypted
+ * results must match the plaintext computation, through every engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/engines.h"
+#include "workloads/statistics.h"
+#include "workloads/timing.h"
+#include "test_util.h"
+
+namespace pimhe {
+namespace {
+
+using pimhe::testing::BfvHarness;
+using pimhe::testing::kSeed;
+using namespace pimhe::workloads;
+
+TEST(MeanWorkload, MatchesPlaintextMean)
+{
+    BfvHarness<4> h(16);
+    EncryptedMean<4> mean(h.ctx, h.enc, h.dec);
+    const std::vector<std::uint64_t> ages = {23, 45, 31, 60, 18, 27,
+                                             52, 39};
+    double expect = 0;
+    for (const auto a : ages)
+        expect += static_cast<double>(a);
+    expect /= static_cast<double>(ages.size());
+    EXPECT_DOUBLE_EQ(mean.run(ages), expect);
+}
+
+TEST(MeanWorkload, SingleUser)
+{
+    BfvHarness<4> h(16);
+    EncryptedMean<4> mean(h.ctx, h.enc, h.dec);
+    EXPECT_DOUBLE_EQ(mean.run({42}), 42.0);
+}
+
+TEST(MeanWorkload, ManyUsersStayWithinNoiseBudget)
+{
+    BfvHarness<2> h(16);
+    EncryptedMean<2> mean(h.ctx, h.enc, h.dec);
+    std::vector<std::uint64_t> values;
+    Rng rng(kSeed);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 120; ++i) {
+        values.push_back(rng.uniform(2));
+        total += values.back();
+    }
+    // Sum stays below t = 257, so the decoded mean must be exact.
+    EXPECT_DOUBLE_EQ(mean.run(values),
+                     static_cast<double>(total) / 120.0);
+}
+
+TEST(MeanWorkload, PimReductionPathMatchesHost)
+{
+    BfvHarness<4> h(16);
+    EncryptedMean<4> mean(h.ctx, h.enc, h.dec);
+    const std::vector<std::uint64_t> vals = {5, 9, 13, 2, 11};
+    const auto cts = mean.encryptUsers(vals);
+
+    pim::SystemConfig cfg;
+    cfg.numDpus = 3;
+    PimHeSystem<4> pimsys(h.ctx, cfg, 3, 12);
+    const auto pim_sum = pimsys.reduceCiphertexts(cts);
+    const auto host_sum = mean.aggregate(cts);
+    for (std::size_t c = 0; c < 2; ++c)
+        EXPECT_TRUE(pim_sum[c] == host_sum[c]) << "component " << c;
+    EXPECT_DOUBLE_EQ(mean.finish(pim_sum, vals.size()), 8.0);
+}
+
+TEST(VarianceWorkload, MatchesPlaintextVariance)
+{
+    BfvHarness<4> h(16);
+    EncryptedVariance<4> var(h.ctx, h.enc, h.dec);
+    const std::vector<std::uint64_t> xs = {4, 8, 6, 2};
+    // mean 5, squares mean = (16+64+36+4)/4 = 30, var = 5.
+    EXPECT_DOUBLE_EQ(var.run(xs), 5.0);
+}
+
+TEST(VarianceWorkload, ZeroForConstantData)
+{
+    BfvHarness<4> h(16);
+    EncryptedVariance<4> var(h.ctx, h.enc, h.dec);
+    EXPECT_DOUBLE_EQ(var.run({7, 7, 7, 7, 7}), 0.0);
+}
+
+TEST(VarianceWorkload, ThroughNttEngine)
+{
+    BfvHarness<4> h(16);
+    h.ctx.setConvolver(
+        std::make_unique<RnsNttConvolver<4>>(h.ctx.ring()));
+    EncryptedVariance<4> var(h.ctx, h.enc, h.dec);
+    EXPECT_DOUBLE_EQ(var.run({1, 3, 5, 7}), 5.0);
+}
+
+TEST(VarianceWorkload, ThroughPimEngine)
+{
+    BfvHarness<4> h(16);
+    pim::SystemConfig cfg;
+    cfg.numDpus = 1;
+    h.ctx.setConvolver(std::make_unique<PimConvolver<4>>(
+        h.ctx.ring(), cfg, 12));
+    EncryptedVariance<4> var(h.ctx, h.enc, h.dec);
+    EXPECT_DOUBLE_EQ(var.run({10, 14, 10, 14}), 4.0);
+}
+
+TEST(LinregWorkload, RecoversExactLinearModel)
+{
+    BfvHarness<4> h(16);
+    EncryptedLinearRegression<4> reg(h.ctx, h.enc, h.dec);
+    // y = 3 + 2 x1 + 1 x2 + 4 x3, exact integer samples.
+    std::vector<RegressionSample> samples;
+    Rng rng(kSeed + 1);
+    for (int i = 0; i < 12; ++i) {
+        RegressionSample s;
+        s.x = {rng.uniform(5), rng.uniform(5), rng.uniform(5)};
+        s.y = 3 + 2 * s.x[0] + 1 * s.x[1] + 4 * s.x[2];
+        samples.push_back(s);
+    }
+    const auto w = reg.run(samples);
+    EXPECT_NEAR(w[0], 3.0, 1e-6);
+    EXPECT_NEAR(w[1], 2.0, 1e-6);
+    EXPECT_NEAR(w[2], 1.0, 1e-6);
+    EXPECT_NEAR(w[3], 4.0, 1e-6);
+}
+
+TEST(LinregWorkload, ThroughNttEngine)
+{
+    BfvHarness<4> h(16);
+    h.ctx.setConvolver(
+        std::make_unique<RnsNttConvolver<4>>(h.ctx.ring()));
+    EncryptedLinearRegression<4> reg(h.ctx, h.enc, h.dec);
+    std::vector<RegressionSample> samples;
+    Rng rng(kSeed + 2);
+    for (int i = 0; i < 10; ++i) {
+        RegressionSample s;
+        s.x = {rng.uniform(4), rng.uniform(4), rng.uniform(4)};
+        s.y = 1 + 5 * s.x[0] + 2 * s.x[2];
+        samples.push_back(s);
+    }
+    const auto w = reg.run(samples);
+    EXPECT_NEAR(w[0], 1.0, 1e-6);
+    EXPECT_NEAR(w[1], 5.0, 1e-6);
+    EXPECT_NEAR(w[2], 0.0, 1e-6);
+    EXPECT_NEAR(w[3], 2.0, 1e-6);
+}
+
+TEST(LinregWorkload, RejectsEmptyAndRagged)
+{
+    BfvHarness<4> h(16);
+    EncryptedLinearRegression<4> reg(h.ctx, h.enc, h.dec);
+    std::vector<std::vector<Ciphertext<4>>> xs;
+    std::vector<Ciphertext<4>> ys;
+    EXPECT_DEATH(reg.aggregate(xs, ys), "inconsistent");
+    xs.push_back({h.encryptScalar(1)});
+    ys.push_back(h.encryptScalar(2));
+    EXPECT_DEATH(reg.aggregate(xs, ys), "bias");
+}
+
+// ----- timing composition sanity -----
+
+TEST(WorkloadTiming, ShapesAreMonotone)
+{
+    baselines::PlatformSuite suite;
+    WorkloadShape small, big;
+    small.users = 640;
+    big.users = 2560;
+    // CPU-like platforms scale with users.
+    EXPECT_LT(meanTimeMs(suite.cpu(), small),
+              meanTimeMs(suite.cpu(), big));
+    EXPECT_LT(varianceTimeMs(suite.seal(), small),
+              varianceTimeMs(suite.seal(), big));
+    // Variance costs more than mean everywhere (it adds the squares).
+    for (const auto *m : suite.all())
+        EXPECT_GT(varianceTimeMs(*m, small), meanTimeMs(*m, small))
+            << m->name();
+    // More ciphertexts per user cost more in linreg.
+    WorkloadShape lr32 = small, lr64 = small;
+    lr32.ctsPerUser = 32;
+    lr64.ctsPerUser = 64;
+    for (const auto *m : suite.all())
+        EXPECT_GT(linregTimeMs(*m, lr64), linregTimeMs(*m, lr32))
+            << m->name();
+}
+
+} // namespace
+} // namespace pimhe
