@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_karatsuba"
+  "../bench/abl_karatsuba.pdb"
+  "CMakeFiles/abl_karatsuba.dir/abl_karatsuba.cpp.o"
+  "CMakeFiles/abl_karatsuba.dir/abl_karatsuba.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_karatsuba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_native_mul"
+  "../bench/abl_native_mul.pdb"
+  "CMakeFiles/abl_native_mul.dir/abl_native_mul.cpp.o"
+  "CMakeFiles/abl_native_mul.dir/abl_native_mul.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_native_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

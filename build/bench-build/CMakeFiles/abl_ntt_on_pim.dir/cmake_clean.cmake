@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_ntt_on_pim"
+  "../bench/abl_ntt_on_pim.pdb"
+  "CMakeFiles/abl_ntt_on_pim.dir/abl_ntt_on_pim.cpp.o"
+  "CMakeFiles/abl_ntt_on_pim.dir/abl_ntt_on_pim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ntt_on_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_ntt_on_pim.
+# This may be replaced when dependencies are built.

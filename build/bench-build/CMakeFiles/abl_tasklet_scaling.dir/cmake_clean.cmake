@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_tasklet_scaling"
+  "../bench/abl_tasklet_scaling.pdb"
+  "CMakeFiles/abl_tasklet_scaling.dir/abl_tasklet_scaling.cpp.o"
+  "CMakeFiles/abl_tasklet_scaling.dir/abl_tasklet_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tasklet_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

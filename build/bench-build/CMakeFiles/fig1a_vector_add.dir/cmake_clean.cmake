@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1a_vector_add"
+  "../bench/fig1a_vector_add.pdb"
+  "CMakeFiles/fig1a_vector_add.dir/fig1a_vector_add.cpp.o"
+  "CMakeFiles/fig1a_vector_add.dir/fig1a_vector_add.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_vector_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

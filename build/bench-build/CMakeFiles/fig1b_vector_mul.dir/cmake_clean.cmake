@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1b_vector_mul"
+  "../bench/fig1b_vector_mul.pdb"
+  "CMakeFiles/fig1b_vector_mul.dir/fig1b_vector_mul.cpp.o"
+  "CMakeFiles/fig1b_vector_mul.dir/fig1b_vector_mul.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_vector_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2a_mean"
+  "../bench/fig2a_mean.pdb"
+  "CMakeFiles/fig2a_mean.dir/fig2a_mean.cpp.o"
+  "CMakeFiles/fig2a_mean.dir/fig2a_mean.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

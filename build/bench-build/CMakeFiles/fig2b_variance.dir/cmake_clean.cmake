@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2b_variance"
+  "../bench/fig2b_variance.pdb"
+  "CMakeFiles/fig2b_variance.dir/fig2b_variance.cpp.o"
+  "CMakeFiles/fig2b_variance.dir/fig2b_variance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2c_linreg"
+  "../bench/fig2c_linreg.pdb"
+  "CMakeFiles/fig2c_linreg.dir/fig2c_linreg.cpp.o"
+  "CMakeFiles/fig2c_linreg.dir/fig2c_linreg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_linreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

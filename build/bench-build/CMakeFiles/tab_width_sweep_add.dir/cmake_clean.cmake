@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_width_sweep_add"
+  "../bench/tab_width_sweep_add.pdb"
+  "CMakeFiles/tab_width_sweep_add.dir/tab_width_sweep_add.cpp.o"
+  "CMakeFiles/tab_width_sweep_add.dir/tab_width_sweep_add.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_width_sweep_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_width_sweep_add.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_width_sweep_mul"
+  "../bench/tab_width_sweep_mul.pdb"
+  "CMakeFiles/tab_width_sweep_mul.dir/tab_width_sweep_mul.cpp.o"
+  "CMakeFiles/tab_width_sweep_mul.dir/tab_width_sweep_mul.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_width_sweep_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

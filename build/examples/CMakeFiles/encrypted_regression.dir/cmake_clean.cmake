@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_regression.dir/encrypted_regression.cpp.o"
+  "CMakeFiles/encrypted_regression.dir/encrypted_regression.cpp.o.d"
+  "encrypted_regression"
+  "encrypted_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

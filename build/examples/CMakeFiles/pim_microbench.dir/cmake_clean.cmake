@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_microbench.dir/pim_microbench.cpp.o"
+  "CMakeFiles/pim_microbench.dir/pim_microbench.cpp.o.d"
+  "pim_microbench"
+  "pim_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_survey.dir/secure_survey.cpp.o"
+  "CMakeFiles/secure_survey.dir/secure_survey.cpp.o.d"
+  "secure_survey"
+  "secure_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimhe_common.dir/cli.cpp.o"
+  "CMakeFiles/pimhe_common.dir/cli.cpp.o.d"
+  "CMakeFiles/pimhe_common.dir/logging.cpp.o"
+  "CMakeFiles/pimhe_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pimhe_common.dir/rng.cpp.o"
+  "CMakeFiles/pimhe_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pimhe_common.dir/table.cpp.o"
+  "CMakeFiles/pimhe_common.dir/table.cpp.o.d"
+  "libpimhe_common.a"
+  "libpimhe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimhe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimhe_modular.dir/mod64.cpp.o"
+  "CMakeFiles/pimhe_modular.dir/mod64.cpp.o.d"
+  "libpimhe_modular.a"
+  "libpimhe_modular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimhe_modular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpimhe_modular.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimhe_ntt.dir/ntt.cpp.o"
+  "CMakeFiles/pimhe_ntt.dir/ntt.cpp.o.d"
+  "CMakeFiles/pimhe_ntt.dir/rns.cpp.o"
+  "CMakeFiles/pimhe_ntt.dir/rns.cpp.o.d"
+  "libpimhe_ntt.a"
+  "libpimhe_ntt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimhe_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

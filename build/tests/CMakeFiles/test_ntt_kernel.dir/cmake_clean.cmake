@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntt_kernel.dir/test_ntt_kernel.cpp.o"
+  "CMakeFiles/test_ntt_kernel.dir/test_ntt_kernel.cpp.o.d"
+  "test_ntt_kernel"
+  "test_ntt_kernel.pdb"
+  "test_ntt_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntt_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_models.dir/test_perf_models.cpp.o"
+  "CMakeFiles/test_perf_models.dir/test_perf_models.cpp.o.d"
+  "test_perf_models"
+  "test_perf_models.pdb"
+  "test_perf_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

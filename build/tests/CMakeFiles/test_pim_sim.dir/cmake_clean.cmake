@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_sim.dir/test_pim_sim.cpp.o"
+  "CMakeFiles/test_pim_sim.dir/test_pim_sim.cpp.o.d"
+  "test_pim_sim"
+  "test_pim_sim.pdb"
+  "test_pim_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wide_int.dir/test_wide_int.cpp.o"
+  "CMakeFiles/test_wide_int.dir/test_wide_int.cpp.o.d"
+  "test_wide_int"
+  "test_wide_int.pdb"
+  "test_wide_int[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wide_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wide_ops.dir/test_wide_ops.cpp.o"
+  "CMakeFiles/test_wide_ops.dir/test_wide_ops.cpp.o.d"
+  "test_wide_ops"
+  "test_wide_ops.pdb"
+  "test_wide_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wide_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

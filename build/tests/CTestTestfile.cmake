@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bfv[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_model[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_modular[1]_include.cmake")
+include("/root/repo/build/tests/test_ntt[1]_include.cmake")
+include("/root/repo/build/tests/test_ntt_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_orchestrator[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_models[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_ring[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_wide_int[1]_include.cmake")
+include("/root/repo/build/tests/test_wide_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
