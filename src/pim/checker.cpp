@@ -1,0 +1,307 @@
+#include "pim/checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pimhe {
+namespace pim {
+
+const char *
+toString(MemSpace space)
+{
+    return space == MemSpace::Wram ? "WRAM" : "MRAM";
+}
+
+const char *
+toString(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::WramLoad:
+        return "wramLoad32";
+      case AccessKind::WramStore:
+        return "wramStore32";
+      case AccessKind::DmaRead:
+        return "mramRead";
+      case AccessKind::DmaWrite:
+        return "mramWrite";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+kindMaskString(std::uint32_t mask)
+{
+    std::string s;
+    for (std::uint8_t k = 0; k < 4; ++k) {
+        if (!(mask & (1u << k)))
+            continue;
+        if (!s.empty())
+            s += "|";
+        s += toString(static_cast<AccessKind>(k));
+    }
+    return s;
+}
+
+} // namespace
+
+std::string
+ConflictRecord::describe() const
+{
+    std::ostringstream os;
+    os << (writeWrite ? "write/write" : "read/write") << " conflict on "
+       << toString(space) << " bytes [" << begin << ", " << end
+       << ") epoch " << epoch << ": tasklet " << taskletA << " ("
+       << kindMaskString(kindsA) << ") vs tasklet " << taskletB << " ("
+       << kindMaskString(kindsB) << ")";
+    return os.str();
+}
+
+std::string
+ConflictReport::summary() const
+{
+    if (clean())
+        return "";
+    std::ostringstream os;
+    os << totalConflicts << " cross-tasklet conflict(s), "
+       << diagnostics.size() << " diagnostic(s)";
+    if (suppressedConflicts)
+        os << ", " << suppressedConflicts << " suppressed";
+    os << "\n";
+    for (const auto &c : conflicts)
+        os << "  " << c.describe() << "\n";
+    if (totalConflicts > conflicts.size())
+        os << "  ... " << totalConflicts - conflicts.size()
+           << " more conflict(s) elided\n";
+    for (const auto &d : diagnostics)
+        os << "  tasklet " << d.tasklet << ": " << d.message << "\n";
+    return os.str();
+}
+
+AccessChecker::AccessChecker(const CheckerConfig &cfg,
+                             unsigned num_tasklets,
+                             std::size_t wram_bytes)
+    : cfg_(cfg), numTasklets_(num_tasklets), wramBytes_(wram_bytes),
+      epoch_(num_tasklets, 0), sets_(num_tasklets)
+{
+    for (auto &per_epoch : sets_)
+        per_epoch.emplace_back();
+}
+
+AccessChecker::AccessSet &
+AccessChecker::setFor(unsigned tasklet, unsigned epoch, MemSpace space)
+{
+    auto &per_epoch = sets_[tasklet];
+    while (per_epoch.size() <= epoch)
+        per_epoch.emplace_back();
+    return per_epoch[epoch][space == MemSpace::Wram ? 0 : 1];
+}
+
+void
+AccessChecker::append(std::vector<Interval> &ivals, std::uint64_t begin,
+                      std::uint64_t end, AccessKind kind)
+{
+    const std::uint32_t kbit = 1u << static_cast<std::uint8_t>(kind);
+    if (!ivals.empty()) {
+        Interval &last = ivals.back();
+        // Streaming accesses extend the previous interval in place.
+        if (begin <= last.end && end >= last.begin) {
+            last.begin = std::min(last.begin, begin);
+            last.end = std::max(last.end, end);
+            last.kinds |= kbit;
+            return;
+        }
+    }
+    ivals.push_back(Interval{begin, end, kbit});
+}
+
+void
+AccessChecker::record(unsigned tasklet, MemSpace space, AccessKind kind,
+                      std::uint64_t addr, std::uint64_t bytes,
+                      bool is_write)
+{
+    PIMHE_ASSERT(tasklet < numTasklets_, "checker: bad tasklet id");
+    ++accesses_;
+    AccessSet &set = setFor(tasklet, epoch_[tasklet], space);
+    append(is_write ? set.writes : set.reads, addr, addr + bytes, kind);
+
+    if (space == MemSpace::Wram && cfg_.wramGuardBytes > 0 &&
+        addr + bytes + cfg_.wramGuardBytes > wramBytes_) {
+        std::ostringstream os;
+        os << toString(kind) << " at WRAM [" << addr << ", "
+           << addr + bytes << ") ends within " << cfg_.wramGuardBytes
+           << " bytes of the " << wramBytes_ << "-byte WRAM limit";
+        diagnostics_.push_back(Diagnostic{
+            Diagnostic::Kind::WramNearMiss, tasklet, os.str()});
+    }
+}
+
+void
+AccessChecker::recordDma(unsigned tasklet, AccessKind kind,
+                         std::uint64_t mram_addr, std::uint32_t wram_addr,
+                         std::uint32_t bytes)
+{
+    const bool reads_mram = kind == AccessKind::DmaRead;
+    record(tasklet, MemSpace::Mram, kind, mram_addr, bytes,
+           /*is_write=*/!reads_mram);
+    record(tasklet, MemSpace::Wram, kind, wram_addr, bytes,
+           /*is_write=*/reads_mram);
+
+    if (mram_addr % 8 != 0 || wram_addr % 8 != 0) {
+        std::ostringstream os;
+        os << toString(kind) << " with unaligned address: MRAM "
+           << mram_addr << ", WRAM " << wram_addr
+           << " (UPMEM DMA requires 8-byte alignment)";
+        diagnostics_.push_back(Diagnostic{
+            Diagnostic::Kind::UnalignedDma, tasklet, os.str()});
+    }
+}
+
+void
+AccessChecker::barrier(unsigned tasklet)
+{
+    PIMHE_ASSERT(tasklet < numTasklets_, "checker: bad tasklet id");
+    ++epoch_[tasklet];
+}
+
+void
+AccessChecker::allowRange(MemSpace space, std::uint64_t addr,
+                          std::uint64_t bytes, std::string reason)
+{
+    allowed_.push_back(
+        AllowedRange{space, addr, addr + bytes, std::move(reason)});
+}
+
+bool
+AccessChecker::allowed(MemSpace space, std::uint64_t begin,
+                       std::uint64_t end) const
+{
+    for (const auto &r : allowed_)
+        if (r.space == space && r.begin <= begin && end <= r.end)
+            return true;
+    return false;
+}
+
+void
+AccessChecker::coalesce(std::vector<Interval> &ivals)
+{
+    if (ivals.size() < 2)
+        return;
+    std::sort(ivals.begin(), ivals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.begin < b.begin;
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 1; i < ivals.size(); ++i) {
+        if (ivals[i].begin <= ivals[out].end) {
+            ivals[out].end = std::max(ivals[out].end, ivals[i].end);
+            ivals[out].kinds |= ivals[i].kinds;
+        } else {
+            ivals[++out] = ivals[i];
+        }
+    }
+    ivals.resize(out + 1);
+}
+
+void
+AccessChecker::sweepPair(ConflictReport &report, MemSpace space,
+                         unsigned epoch, unsigned ta,
+                         const std::vector<Interval> &a, unsigned tb,
+                         const std::vector<Interval> &b,
+                         bool write_write) const
+{
+    // Two-pointer intersection of sorted, coalesced interval lists.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        const std::uint64_t lo = std::max(a[i].begin, b[j].begin);
+        const std::uint64_t hi = std::min(a[i].end, b[j].end);
+        if (lo < hi) {
+            if (allowed(space, lo, hi)) {
+                ++report.suppressedConflicts;
+            } else {
+                ++report.totalConflicts;
+                if (report.conflicts.size() < cfg_.maxReports)
+                    report.conflicts.push_back(ConflictRecord{
+                        space, lo, hi, ta, tb, epoch, a[i].kinds,
+                        b[j].kinds, write_write});
+            }
+        }
+        if (a[i].end < b[j].end)
+            ++i;
+        else
+            ++j;
+    }
+}
+
+ConflictReport
+AccessChecker::finish()
+{
+    ConflictReport report;
+    report.accessesRecorded = accesses_;
+    report.diagnostics = std::move(diagnostics_);
+
+    for (auto &per_epoch : sets_)
+        for (auto &spaces : per_epoch)
+            for (auto &set : spaces) {
+                coalesce(set.reads);
+                coalesce(set.writes);
+            }
+
+    // Tasklets that issued memory accesses must agree on their final
+    // epoch, or the kernel's barriers were unbalanced.
+    unsigned ref_epoch = 0;
+    bool ref_set = false;
+    for (unsigned t = 0; t < numTasklets_; ++t) {
+        bool touched = false;
+        for (const auto &spaces : sets_[t])
+            for (const auto &set : spaces)
+                touched |= !set.reads.empty() || !set.writes.empty();
+        if (!touched)
+            continue;
+        if (!ref_set) {
+            ref_epoch = epoch_[t];
+            ref_set = true;
+        } else if (epoch_[t] != ref_epoch) {
+            std::ostringstream os;
+            os << "tasklet finished in epoch " << epoch_[t]
+               << " but tasklet(s) before it finished in epoch "
+               << ref_epoch << " — unbalanced barrier() calls";
+            report.diagnostics.push_back(Diagnostic{
+                Diagnostic::Kind::BarrierMismatch, t, os.str()});
+        }
+    }
+
+    // Pairwise sweep: only same-epoch accesses of different tasklets
+    // are unordered on real hardware.
+    const std::array<MemSpace, 2> spaces = {MemSpace::Wram,
+                                            MemSpace::Mram};
+    for (unsigned ta = 0; ta < numTasklets_; ++ta)
+        for (unsigned tb = ta + 1; tb < numTasklets_; ++tb) {
+            const std::size_t epochs =
+                std::min(sets_[ta].size(), sets_[tb].size());
+            for (std::size_t e = 0; e < epochs; ++e)
+                for (const MemSpace space : spaces) {
+                    const std::size_t si =
+                        space == MemSpace::Wram ? 0 : 1;
+                    const AccessSet &sa = sets_[ta][e][si];
+                    const AccessSet &sb = sets_[tb][e][si];
+                    sweepPair(report, space, static_cast<unsigned>(e),
+                              ta, sa.writes, tb, sb.writes,
+                              /*write_write=*/true);
+                    sweepPair(report, space, static_cast<unsigned>(e),
+                              ta, sa.writes, tb, sb.reads,
+                              /*write_write=*/false);
+                    sweepPair(report, space, static_cast<unsigned>(e),
+                              ta, sa.reads, tb, sb.writes,
+                              /*write_write=*/false);
+                }
+        }
+    return report;
+}
+
+} // namespace pim
+} // namespace pimhe

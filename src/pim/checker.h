@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Cross-tasklet memory conflict detection for the PIM simulator.
+ *
+ * The simulator executes tasklets *sequentially* (tasklet 0 runs to
+ * completion before tasklet 1 starts), so a kernel whose tasklets
+ * overlap on shared WRAM/MRAM bytes computes the right answer here but
+ * would race — and silently corrupt data — on real UPMEM hardware,
+ * where tasklets interleave with no ordering guarantees. AccessChecker
+ * closes that gap: when enabled through DpuConfig, every WRAM
+ * load/store and MRAM<->WRAM DMA issued through TaskletCtx is
+ * recorded, and Dpu::run ends by sweeping the records for
+ * write/write and read/write overlaps between different tasklets.
+ *
+ * Ordering established by real-hardware barriers is modelled with
+ * epochs: TaskletCtx::barrier() advances the calling tasklet's epoch,
+ * and only accesses in the *same* epoch are considered concurrent
+ * (with an all-tasklet barrier, epoch e of any tasklet happens-before
+ * epoch e+1 of every tasklet). The checker also flags DMA transfers
+ * that violate UPMEM's 8-byte address alignment and accesses that come
+ * within a configurable guard band of the end of WRAM.
+ */
+
+#ifndef PIMHE_PIM_CHECKER_H
+#define PIMHE_PIM_CHECKER_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimhe {
+namespace pim {
+
+/** Checker knobs, embedded in DpuConfig. Disabled by default: the
+ *  simulator's hot intrinsic paths only test one pointer when off. */
+struct CheckerConfig
+{
+    /** Record accesses and report conflicts after each Dpu::run. */
+    bool enabled = false;
+
+    /** panic() at the end of Dpu::run when the report is not clean
+     *  (conflicts or diagnostics). For tests and pre-merge gates. */
+    bool failFast = false;
+
+    /** Cap on detailed conflict records kept per run (the total count
+     *  is always exact; only the per-byte detail is capped). */
+    std::size_t maxReports = 32;
+
+    /** Flag WRAM accesses ending within this many bytes of the end of
+     *  WRAM as near-misses. 0 disables the guard band. */
+    std::uint32_t wramGuardBytes = 0;
+};
+
+/** Which memory an access touched. */
+enum class MemSpace : std::uint8_t { Wram, Mram };
+
+/** The intrinsic that produced an access. */
+enum class AccessKind : std::uint8_t {
+    WramLoad,  //!< TaskletCtx::wramLoad32
+    WramStore, //!< TaskletCtx::wramStore32
+    DmaRead,   //!< TaskletCtx::mramRead (reads MRAM, writes WRAM)
+    DmaWrite,  //!< TaskletCtx::mramWrite (reads WRAM, writes MRAM)
+};
+
+const char *toString(MemSpace space);
+const char *toString(AccessKind kind);
+
+/** One cross-tasklet overlap between unordered (same-epoch) accesses. */
+struct ConflictRecord
+{
+    MemSpace space = MemSpace::Wram;
+    std::uint64_t begin = 0; //!< first overlapping byte
+    std::uint64_t end = 0;   //!< one past the last overlapping byte
+    unsigned taskletA = 0;
+    unsigned taskletB = 0;
+    unsigned epoch = 0;
+    std::uint32_t kindsA = 0; //!< bitmask of AccessKind from tasklet A
+    std::uint32_t kindsB = 0; //!< bitmask of AccessKind from tasklet B
+    bool writeWrite = false;  //!< both sides wrote (else read/write)
+
+    std::string describe() const;
+};
+
+/** Non-conflict hazards: alignment violations and near-misses. */
+struct Diagnostic
+{
+    enum class Kind : std::uint8_t {
+        UnalignedDma,    //!< MRAM or WRAM DMA address not 8-aligned
+        WramNearMiss,    //!< access inside the WRAM guard band
+        BarrierMismatch, //!< tasklets finished in different epochs
+    };
+
+    Kind kind = Kind::UnalignedDma;
+    unsigned tasklet = 0;
+    std::string message;
+};
+
+/** Everything one checker-enabled Dpu::run learned. */
+struct ConflictReport
+{
+    std::vector<ConflictRecord> conflicts; //!< capped at maxReports
+    std::vector<Diagnostic> diagnostics;
+    std::uint64_t totalConflicts = 0;  //!< exact, never capped
+    std::uint64_t accessesRecorded = 0;
+    std::uint64_t suppressedConflicts = 0; //!< dropped by allowRange
+
+    bool
+    clean() const
+    {
+        return totalConflicts == 0 && diagnostics.empty();
+    }
+
+    /** Multi-line human-readable report (empty string when clean). */
+    std::string summary() const;
+};
+
+/**
+ * Per-DPU access recorder and conflict detector. One instance lives
+ * for the duration of one Dpu::run; TaskletCtx feeds it and run()
+ * finalises it into a ConflictReport.
+ *
+ * Recording is O(1) amortised: accesses extend the previous interval
+ * when contiguous and of the same kind (the common streaming case),
+ * and finish() sorts + coalesces before the pairwise sweep, so the
+ * sweep operates on a handful of merged intervals per tasklet rather
+ * than one record per intrinsic.
+ */
+class AccessChecker
+{
+  public:
+    AccessChecker(const CheckerConfig &cfg, unsigned num_tasklets,
+                  std::size_t wram_bytes);
+
+    /** Record one access. DMA callers record both sides. */
+    void record(unsigned tasklet, MemSpace space, AccessKind kind,
+                std::uint64_t addr, std::uint64_t bytes, bool is_write);
+
+    /** Record a DMA transfer: both memory ranges plus alignment. */
+    void recordDma(unsigned tasklet, AccessKind kind,
+                   std::uint64_t mram_addr, std::uint32_t wram_addr,
+                   std::uint32_t bytes);
+
+    /** The calling tasklet passed an all-tasklet barrier. */
+    void barrier(unsigned tasklet);
+
+    /**
+     * Suppression API: exempt [addr, addr+bytes) of `space` from
+     * conflict reporting for this run. Use only with a justification —
+     * e.g. a region protected by a synchronisation primitive the
+     * checker does not model. The reason is kept for the report.
+     */
+    void allowRange(MemSpace space, std::uint64_t addr,
+                    std::uint64_t bytes, std::string reason);
+
+    /** Finalise: coalesce, sweep for conflicts, build the report. */
+    ConflictReport finish();
+
+  private:
+    struct Interval
+    {
+        std::uint64_t begin = 0;
+        std::uint64_t end = 0;
+        std::uint32_t kinds = 0; //!< bitmask of AccessKind
+    };
+
+    /** Read and write interval lists of one (tasklet, epoch, space). */
+    struct AccessSet
+    {
+        std::vector<Interval> reads;
+        std::vector<Interval> writes;
+    };
+
+    struct AllowedRange
+    {
+        MemSpace space;
+        std::uint64_t begin;
+        std::uint64_t end;
+        std::string reason;
+    };
+
+    AccessSet &setFor(unsigned tasklet, unsigned epoch, MemSpace space);
+    bool allowed(MemSpace space, std::uint64_t begin,
+                 std::uint64_t end) const;
+
+    static void append(std::vector<Interval> &ivals, std::uint64_t begin,
+                       std::uint64_t end, AccessKind kind);
+    static void coalesce(std::vector<Interval> &ivals);
+    void sweepPair(ConflictReport &report, MemSpace space,
+                   unsigned epoch, unsigned ta,
+                   const std::vector<Interval> &a, unsigned tb,
+                   const std::vector<Interval> &b,
+                   bool write_write) const;
+
+    CheckerConfig cfg_;
+    unsigned numTasklets_;
+    std::size_t wramBytes_;
+    std::uint64_t accesses_ = 0;
+    std::vector<unsigned> epoch_;              //!< per tasklet
+    // [tasklet][epoch][space == Wram ? 0 : 1]
+    std::vector<std::vector<std::array<AccessSet, 2>>> sets_;
+    std::vector<AllowedRange> allowed_;
+    std::vector<Diagnostic> diagnostics_;
+};
+
+} // namespace pim
+} // namespace pimhe
+
+#endif // PIMHE_PIM_CHECKER_H

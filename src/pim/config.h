@@ -16,6 +16,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "pim/checker.h"
+
 namespace pimhe {
 namespace pim {
 
@@ -55,6 +57,13 @@ struct DpuConfig
      * abl_native_mul experiment for the paper's Key Takeaway 2.
      */
     bool nativeMul32 = false;
+
+    /**
+     * Cross-tasklet conflict checker (see pim/checker.h). Off by
+     * default; when enabled every Dpu::run ends with a conflict sweep
+     * whose report lands in DpuRunStats::conflicts.
+     */
+    CheckerConfig checker;
 };
 
 /** Whole-system parameters. */

@@ -18,9 +18,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/logging.h"
+#include "pim/checker.h"
 #include "pim/config.h"
 #include "pim/stats.h"
 
@@ -122,9 +124,10 @@ class TaskletCtx
 {
   public:
     TaskletCtx(unsigned id, unsigned num_tasklets, const DpuConfig &cfg,
-               Wram &wram, Mram &mram, TaskletStats &stats)
+               Wram &wram, Mram &mram, TaskletStats &stats,
+               AccessChecker *checker = nullptr)
         : id_(id), numTasklets_(num_tasklets), cfg_(cfg), wram_(wram),
-          mram_(mram), stats_(stats)
+          mram_(mram), stats_(stats), checker_(checker)
     {}
 
     unsigned id() const { return id_; }
@@ -280,6 +283,9 @@ class TaskletCtx
     wramLoad32(std::uint32_t addr)
     {
         charge(1);
+        if (checker_)
+            checker_->record(id_, MemSpace::Wram, AccessKind::WramLoad,
+                             addr, 4, /*is_write=*/false);
         return wram_.load32(addr);
     }
 
@@ -287,6 +293,9 @@ class TaskletCtx
     wramStore32(std::uint32_t addr, std::uint32_t v)
     {
         charge(1);
+        if (checker_)
+            checker_->record(id_, MemSpace::Wram, AccessKind::WramStore,
+                             addr, 4, /*is_write=*/true);
         wram_.store32(addr, v);
     }
 
@@ -302,6 +311,9 @@ class TaskletCtx
              std::uint32_t bytes)
     {
         chargeDma(bytes);
+        if (checker_)
+            checker_->recordDma(id_, AccessKind::DmaRead, mram_addr,
+                                wram_addr, bytes);
         wram_.checkRange(wram_addr, bytes);
         mram_.read(mram_addr, wram_.raw() + wram_addr, bytes);
     }
@@ -312,8 +324,44 @@ class TaskletCtx
               std::uint32_t bytes)
     {
         chargeDma(bytes);
+        if (checker_)
+            checker_->recordDma(id_, AccessKind::DmaWrite, mram_addr,
+                                wram_addr, bytes);
         wram_.checkRange(wram_addr, bytes);
         mram_.write(mram_addr, wram_.raw() + wram_addr, bytes);
+    }
+
+    // ----- synchronisation -----
+
+    /**
+     * All-tasklet barrier (UPMEM's barrier_wait). Execution here is
+     * sequential, so the only functional effect is on the conflict
+     * checker: accesses before the barrier are ordered against
+     * accesses after it in every other tasklet (epoch semantics —
+     * see pim/checker.h). Charged as one issue slot; real hardware
+     * additionally idles tasklets, which the timing model's
+     * per-tasklet bound already absorbs for balanced kernels.
+     */
+    void
+    barrier()
+    {
+        charge(1);
+        if (checker_)
+            checker_->barrier(id_);
+    }
+
+    /**
+     * Suppression API for the conflict checker: declare that
+     * [addr, addr+bytes) of `space` is protected by a mechanism the
+     * checker does not model (e.g. a mutex or handshake), with a
+     * human-readable justification. No-op when the checker is off.
+     */
+    void
+    checkerAllowRange(MemSpace space, std::uint64_t addr,
+                      std::uint64_t bytes, const char *reason)
+    {
+        if (checker_)
+            checker_->allowRange(space, addr, bytes, reason);
     }
 
   private:
@@ -336,6 +384,7 @@ class TaskletCtx
     Wram &wram_;
     Mram &mram_;
     TaskletStats &stats_;
+    AccessChecker *checker_;
     std::uint32_t carry_ = 0;
     std::uint32_t borrow_ = 0;
 };
@@ -380,10 +429,20 @@ class Dpu
                      "tasklet count out of range: ", num_tasklets);
         DpuRunStats stats;
         stats.tasklets.resize(num_tasklets);
+        std::unique_ptr<AccessChecker> checker;
+        if (cfg_.checker.enabled)
+            checker = std::make_unique<AccessChecker>(
+                cfg_.checker, num_tasklets, wram_.size());
         for (unsigned t = 0; t < num_tasklets; ++t) {
             TaskletCtx ctx(t, num_tasklets, cfg_, wram_, mram_,
-                           stats.tasklets[t]);
+                           stats.tasklets[t], checker.get());
             kernel(ctx);
+        }
+        if (checker) {
+            stats.conflicts = checker->finish();
+            if (cfg_.checker.failFast && !stats.conflicts.clean())
+                panic("tasklet conflict check failed:\n",
+                      stats.conflicts.summary());
         }
 
         double issue_bound = 0;

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "pim/checker.h"
+
 namespace pimhe {
 namespace pim {
 
@@ -26,6 +28,10 @@ struct DpuRunStats
 {
     std::vector<TaskletStats> tasklets;
     double cycles = 0; //!< modelled execution cycles for this DPU
+
+    /** Checker findings for this run (empty unless cfg.checker is
+     *  enabled — and then hopefully still empty). */
+    ConflictReport conflicts;
 
     std::uint64_t
     totalInstructions() const
@@ -55,6 +61,26 @@ struct LaunchStats
     double hostToDpuMs = 0;   //!< modelled input copy time
     double dpuToHostMs = 0;   //!< modelled output copy time
     double launchOverheadMs = 0;
+
+    /** Conflicts found across all DPUs of this launch. */
+    std::uint64_t
+    totalConflicts() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &d : dpus)
+            sum += d.conflicts.totalConflicts;
+        return sum;
+    }
+
+    /** True when no DPU reported conflicts or diagnostics. */
+    bool
+    conflictClean() const
+    {
+        for (const auto &d : dpus)
+            if (!d.conflicts.clean())
+                return false;
+        return true;
+    }
 
     /** End-to-end modelled time for this launch. */
     double

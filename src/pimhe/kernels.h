@@ -71,6 +71,32 @@ taskletRange(std::uint32_t elems, unsigned tasklet, unsigned tasklets)
     return {begin, begin + count};
 }
 
+/**
+ * taskletRange with every boundary aligned to the 8-byte DMA
+ * granularity: elements are partitioned in groups of
+ * lcm(elem_bytes, 8) / elem_bytes, so one tasklet's chunked DMA —
+ * whose tail transfer is rounded up to a multiple of 8 bytes — never
+ * spills into the next tasklet's byte range. Without this, 4-byte
+ * elements split at an odd index make adjacent tasklets DMA-write
+ * overlapping MRAM words: benign under serialized simulation, a
+ * write/write race on real hardware.
+ */
+inline std::pair<std::uint32_t, std::uint32_t>
+alignedTaskletRange(std::uint32_t elems, std::uint32_t elem_bytes,
+                    unsigned tasklet, unsigned tasklets)
+{
+    // Element sizes are limb multiples of 4 bytes, so the group size
+    // is 2 for 4-byte elements and 1 otherwise.
+    const std::uint32_t granule = elem_bytes % 8 == 0 ? 1 : 2;
+    if (granule == 1)
+        return taskletRange(elems, tasklet, tasklets);
+    const std::uint32_t groups = (elems + granule - 1) / granule;
+    const auto [gbegin, gend] =
+        taskletRange(groups, tasklet, tasklets);
+    return {std::min(gbegin * granule, elems),
+            std::min(gend * granule, elems)};
+}
+
 namespace detail {
 
 /**
@@ -93,8 +119,8 @@ runElementwise(pim::TaskletCtx &ctx, const VecKernelParams &p,
     const std::uint32_t wb = wbase + chunk_bytes;
     const std::uint32_t wo = wbase + 2 * chunk_bytes;
 
-    const auto [begin, end] =
-        taskletRange(p.elems, ctx.id(), ctx.numTasklets());
+    const auto [begin, end] = alignedTaskletRange(
+        p.elems, elem_bytes, ctx.id(), ctx.numTasklets());
 
     for (std::uint32_t e = begin; e < end; e += chunk_elems) {
         const std::uint32_t count =
@@ -261,8 +287,9 @@ makeNegacyclicConvKernel(ConvKernelParams p)
                          ctx.config().wramBytes,
                      "polynomials do not fit in WRAM; lower n");
 
-        // Tasklet 0 stages both operands (the others would barrier on
-        // it on real hardware; simulation runs tasklets in order).
+        // Tasklet 0 stages both operands; the barrier orders the
+        // staging writes before every tasklet's reads (on hardware it
+        // is a real barrier_wait, here it advances the checker epoch).
         if (ctx.id() == 0) {
             for (std::uint32_t off = 0; off < poly_bytes; off += 2048) {
                 const std::uint32_t bytes =
@@ -271,6 +298,7 @@ makeNegacyclicConvKernel(ConvKernelParams p)
                 ctx.mramRead(p.mramB + off, wb + off, bytes);
             }
         }
+        ctx.barrier();
 
         const auto [begin, end] =
             taskletRange(p.n, ctx.id(), ctx.numTasklets());

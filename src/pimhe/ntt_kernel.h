@@ -180,7 +180,8 @@ makeNttMulKernel(NttKernelParams kp)
                          ctx.config().wramBytes,
                      "NTT working set exceeds WRAM; lower n");
 
-        // Tasklet 0 stages the twiddle tables (barrier on real HW).
+        // Tasklet 0 stages the twiddle tables; the barrier orders the
+        // staging writes before the other tasklets' table reads.
         if (ctx.id() == 0) {
             for (std::uint32_t off = 0; off < poly_bytes; off += 2048) {
                 const std::uint32_t bytes =
@@ -190,6 +191,7 @@ makeNttMulKernel(NttKernelParams kp)
                              bytes);
             }
         }
+        ctx.barrier();
 
         const auto [begin, end] =
             taskletRange(kp.count, ctx.id(), ctx.numTasklets());

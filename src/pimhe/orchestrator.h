@@ -123,6 +123,17 @@ class PimHeSystem
     /** Total modelled PIM time accumulated so far (ms). */
     double totalModeledMs() const { return dpus_.totalModeledMs(); }
 
+    /**
+     * Stats of the most recent kernel launch, including the per-DPU
+     * ConflictReport when cfg.dpu.checker is enabled. With
+     * checker.failFast set the launch itself panics on a dirty
+     * report, so tests can gate on either.
+     */
+    const pim::LaunchStats &lastLaunch() const
+    {
+        return dpus_.lastLaunch();
+    }
+
   private:
     std::vector<Ciphertext<N>>
     elementwise(const std::vector<Ciphertext<N>> &a,
@@ -143,7 +154,10 @@ class PimHeSystem
         const std::size_t per_dpu =
             (total_elems + num_dpus - 1) / num_dpus;
         const std::size_t elem_bytes = N * 4;
-        const std::size_t arr_bytes = per_dpu * elem_bytes;
+        // Round the per-DPU region stride up to the 8-byte DMA
+        // granularity so every kernel transfer is aligned.
+        const std::size_t arr_bytes =
+            (per_dpu * elem_bytes + 7) / 8 * 8;
 
         pimhe_kernels::VecKernelParams kp;
         kp.mramA = 0;

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Pre-merge gate for the pimhe repo.
+#
+# Runs, in order:
+#   1. plain build + full ctest (the tier-1 verify, includes the
+#      checker-enabled conflict tests in tests/test_checker.cpp),
+#   2. the same under AddressSanitizer,
+#   3. the same under UndefinedBehaviorSanitizer,
+#   4. clang-format --dry-run -Werror over src/pim/ (if installed),
+#   5. a clang-tidy build (if installed).
+#
+# Sanitizer and clang steps degrade gracefully when the toolchain
+# lacks the binaries, so the script is safe to run anywhere; the
+# plain build + ctest step is always mandatory.
+#
+# Usage: tools/check.sh [--quick]
+#   --quick  plain build + ctest only (skip the sanitizer matrix)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+run_config() {
+    local name=$1
+    shift
+    local dir="build-check-${name}"
+    mkdir -p "${dir}"
+    echo "=== [${name}] cmake configure ==="
+    cmake -B "${dir}" -S . "$@" > "${dir}/cmake.log" 2>&1 || {
+        cat "${dir}/cmake.log"
+        return 1
+    }
+    echo "=== [${name}] build ==="
+    cmake --build "${dir}" -j "${JOBS}"
+    echo "=== [${name}] ctest ==="
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config plain
+
+if [[ "${QUICK}" == "0" ]]; then
+    run_config asan -DPIMHE_SANITIZE=address
+    run_config ubsan -DPIMHE_SANITIZE=undefined
+fi
+
+if command -v clang-format > /dev/null 2>&1; then
+    echo "=== clang-format (src/pim) ==="
+    clang-format --dry-run -Werror src/pim/*.h src/pim/*.cpp
+else
+    echo "=== clang-format not installed; skipping format check ==="
+fi
+
+if command -v clang-tidy > /dev/null 2>&1; then
+    echo "=== clang-tidy build ==="
+    run_config tidy -DPIMHE_ENABLE_CLANG_TIDY=ON
+else
+    echo "=== clang-tidy not installed; skipping tidy build ==="
+fi
+
+echo "=== all checks passed ==="
