@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace pimhe {
+
+std::size_t
+resolveHostThreads(std::size_t configured)
+{
+    if (configured > 0)
+        return configured;
+    if (const char *env = std::getenv("PIMHE_HOST_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads < 1 ? 1 : threads)
+{
+    workers_.reserve(threads_ - 1);
+    for (std::size_t i = 0; i + 1 < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::drain(Batch &batch)
+{
+    for (;;) {
+        const std::size_t i =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.n)
+            return;
+        (*batch.body)(i);
+        std::lock_guard<std::mutex> lk(batch.m);
+        if (++batch.done == batch.n)
+            batch.cv.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cv_.wait(lk, [&] { return stop_ || seq_ != seen; });
+            if (stop_)
+                return;
+            seen = seq_;
+            batch = current_;
+        }
+        if (batch)
+            drain(*batch);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    // Each invocation gets its own Batch so a worker still draining a
+    // previous (already completed) batch can never claim indices of
+    // this one with a stale body.
+    auto batch = std::make_shared<Batch>();
+    batch->body = &body;
+    batch->n = n;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        current_ = batch;
+        ++seq_;
+    }
+    cv_.notify_all();
+    drain(*batch);
+    std::unique_lock<std::mutex> lk(batch->m);
+    batch->cv.wait(lk, [&] { return batch->done == batch->n; });
+}
+
+} // namespace pimhe

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reusable host-side thread pool for wall-clock parallelism.
+ *
+ * The simulator models thousands of independent DPUs; executing their
+ * kernels concurrently across host cores is purely a wall-clock
+ * optimisation and must never change modelled results. ThreadPool is
+ * the building block for that contract: parallelFor() runs an indexed
+ * body over [0, n) and callers write results into per-index slots, so
+ * aggregation happens afterwards in deterministic index order on the
+ * calling thread regardless of how work was scheduled.
+ */
+
+#ifndef PIMHE_COMMON_THREAD_POOL_H
+#define PIMHE_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pimhe {
+
+/**
+ * Number of host threads to use when a component's configuration asks
+ * for "auto" (configured == 0): the PIMHE_HOST_THREADS environment
+ * variable when set to a positive integer, otherwise
+ * std::thread::hardware_concurrency(). Always at least 1.
+ */
+std::size_t resolveHostThreads(std::size_t configured);
+
+/**
+ * Fixed-size pool of persistent worker threads.
+ *
+ * A pool of size T keeps T-1 workers; the thread calling parallelFor()
+ * participates as the T-th, so a pool of size 1 owns no threads and
+ * runs every body inline — bit-identical to a plain loop by
+ * construction, not just by contract.
+ *
+ * Bodies must be re-entrant (they run concurrently for different
+ * indices) and must not throw; an invariant failure inside a body
+ * should panic(), which aborts the process just as it would on the
+ * calling thread.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads Pool size; clamped to at least 1. */
+    explicit ThreadPool(std::size_t threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Pool size (workers + the participating caller). */
+    std::size_t threadCount() const { return threads_; }
+
+    /**
+     * Run body(i) for every i in [0, n), distributing indices across
+     * the pool, and return once all n calls completed. Completion is
+     * a full synchronisation point: every write made by a body
+     * happens-before the return. Indices are claimed dynamically, so
+     * callers needing deterministic output must write to per-index
+     * slots and combine them after this returns.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    /** One parallelFor invocation: indices, progress, completion. */
+    struct Batch
+    {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t n = 0;
+        std::atomic<std::size_t> next{0};
+        std::size_t done = 0;
+        std::mutex m;
+        std::condition_variable cv;
+    };
+
+    void workerLoop();
+    static void drain(Batch &batch);
+
+    std::size_t threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::shared_ptr<Batch> current_;
+    std::uint64_t seq_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace pimhe
+
+#endif // PIMHE_COMMON_THREAD_POOL_H

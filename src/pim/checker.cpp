@@ -81,6 +81,15 @@ ConflictReport::summary() const
     return os.str();
 }
 
+std::string
+describeLaunchFailure(std::size_t dpu_index, const ConflictReport &report)
+{
+    std::ostringstream os;
+    os << "tasklet conflict check failed on DPU " << dpu_index << ":\n"
+       << report.summary();
+    return os.str();
+}
+
 AccessChecker::AccessChecker(const CheckerConfig &cfg,
                              unsigned num_tasklets,
                              std::size_t wram_bytes)

@@ -117,6 +117,15 @@ struct ConflictReport
 };
 
 /**
+ * Render a launch-level fail-fast message for a dirty DPU. Used by the
+ * parallel execution engine, which defers per-DPU fail-fast panics to
+ * after the parallel join and reports the lowest-index dirty DPU, so
+ * the failure output is identical at any host thread count.
+ */
+std::string describeLaunchFailure(std::size_t dpu_index,
+                                  const ConflictReport &report);
+
+/**
  * Per-DPU access recorder and conflict detector. One instance lives
  * for the duration of one Dpu::run; TaskletCtx feeds it and run()
  * finalises it into a ConflictReport.
@@ -126,6 +135,13 @@ struct ConflictReport
  * and finish() sorts + coalesces before the pairwise sweep, so the
  * sweep operates on a handful of merged intervals per tasklet rather
  * than one record per intrinsic.
+ *
+ * Threading contract: one AccessChecker belongs to one Dpu::run and
+ * shares no mutable state with any other instance, so independent
+ * DPUs may record concurrently from different host threads without
+ * synchronisation. Within one instance, record()/recordDma()/
+ * barrier()/allowRange()/finish() must all be called from the thread
+ * running that DPU (tasklets of one DPU execute sequentially).
  */
 class AccessChecker
 {

@@ -86,6 +86,15 @@ struct SystemConfig
     /** Fixed host-side launch/teardown overhead per kernel, in us. */
     double launchOverheadUs = 20.0;
 
+    /**
+     * Host threads used to execute independent simulated DPUs
+     * concurrently (wall-clock only — modelled results, times and
+     * checker reports are bit-identical at any value). 0 means auto:
+     * the PIMHE_HOST_THREADS environment variable when set, otherwise
+     * the machine's hardware concurrency.
+     */
+    std::size_t hostThreads = 0;
+
     /** Total PIM-enabled memory capacity in bytes (158 GB). */
     double
     totalMemoryBytes() const

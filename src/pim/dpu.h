@@ -389,7 +389,15 @@ class TaskletCtx
     std::uint32_t borrow_ = 0;
 };
 
-/** Kernel body: runs once per tasklet. */
+/**
+ * Kernel body: runs once per tasklet.
+ *
+ * The same Kernel object is invoked concurrently from multiple host
+ * threads when a DpuSet executes its DPUs in parallel, so kernels
+ * must be re-entrant: all mutable state goes through the TaskletCtx,
+ * never through captured variables. The shipped kernels capture their
+ * parameter structs by value and satisfy this by construction.
+ */
 using Kernel = std::function<void(TaskletCtx &)>;
 
 /**
@@ -420,9 +428,15 @@ class Dpu
      * with D = dispatchInterval, I_t issued slots and S_t DMA stall
      * cycles of tasklet t. With balanced work this reproduces the
      * "saturates at 11 tasklets" behaviour the paper reports.
+     *
+     * @param defer_fail_fast Suppress the checker.failFast panic and
+     *        return the dirty report instead. The parallel launch path
+     *        sets this so the panic happens after the join, in DPU
+     *        index order, keeping failure output deterministic.
      */
     DpuRunStats
-    run(unsigned num_tasklets, const Kernel &kernel)
+    run(unsigned num_tasklets, const Kernel &kernel,
+        bool defer_fail_fast = false)
     {
         PIMHE_ASSERT(num_tasklets >= 1 &&
                          num_tasklets <= cfg_.maxTasklets,
@@ -440,7 +454,8 @@ class Dpu
         }
         if (checker) {
             stats.conflicts = checker->finish();
-            if (cfg_.checker.failFast && !stats.conflicts.clean())
+            if (cfg_.checker.failFast && !defer_fail_fast &&
+                !stats.conflicts.clean())
                 panic("tasklet conflict check failed:\n",
                       stats.conflicts.summary());
         }

@@ -52,7 +52,15 @@ struct DpuRunStats
     }
 };
 
-/** System-level result of one kernel launch across all used DPUs. */
+/**
+ * System-level result of one kernel launch across all used DPUs.
+ *
+ * Determinism contract: every modelled field (dpus — including order,
+ * cycles and conflict reports — maxCycles, kernelMs, hostToDpuMs,
+ * dpuToHostMs, launchOverheadMs) is bit-identical at any host thread
+ * count. Only the host* observability fields below reflect real
+ * wall-clock behaviour and are excluded from that contract.
+ */
 struct LaunchStats
 {
     std::vector<DpuRunStats> dpus;
@@ -61,6 +69,14 @@ struct LaunchStats
     double hostToDpuMs = 0;   //!< modelled input copy time
     double dpuToHostMs = 0;   //!< modelled output copy time
     double launchOverheadMs = 0;
+
+    /** Wall-clock the host actually spent simulating this launch.
+     *  Diagnostic only: never part of modelled time or determinism
+     *  comparisons. */
+    double hostWallMs = 0;
+
+    /** Host threads the execution engine used for this launch. */
+    std::size_t hostThreads = 1;
 
     /** Conflicts found across all DPUs of this launch. */
     std::uint64_t

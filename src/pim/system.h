@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "pim/dpu.h"
 
 namespace pimhe {
@@ -22,7 +24,18 @@ namespace pim {
  * on every DPU, copy results back. Host<->MRAM copy time is modelled
  * from the configured bandwidths: uploads performed since the previous
  * launch are charged to the next launch's hostToDpuMs, downloads after
- * a launch to its dpuToHostMs.
+ * a launch to its dpuToHostMs, and downloads before the first launch
+ * to the explicit preLaunchDownloadMs() bucket (all three feed
+ * totalModeledMs()).
+ *
+ * Execution engine: launch() runs the per-DPU simulations concurrently
+ * on cfg.hostThreads host threads (see SystemConfig::hostThreads for
+ * the auto/PIMHE_HOST_THREADS resolution). DPUs share no mutable
+ * state, results land in per-DPU slots, and all aggregation —
+ * maxCycles, fail-fast checker panics, launch bookkeeping — happens
+ * after the join in DPU index order, so every modelled field of
+ * LaunchStats is bit-identical at any thread count; only the
+ * wall-clock observability fields (hostWallMs, hostThreads) differ.
  */
 class DpuSet
 {
@@ -32,7 +45,9 @@ class DpuSet
      * @param num_dpus DPUs to allocate; must not exceed cfg.numDpus.
      */
     DpuSet(const SystemConfig &cfg, std::size_t num_dpus)
-        : cfg_(cfg)
+        : cfg_(cfg),
+          pool_(std::make_unique<ThreadPool>(
+              resolveHostThreads(cfg.hostThreads)))
     {
         PIMHE_ASSERT(num_dpus >= 1 && num_dpus <= cfg.numDpus,
                      "cannot allocate ", num_dpus, " of ", cfg.numDpus,
@@ -45,6 +60,10 @@ class DpuSet
     std::size_t size() const { return dpus_.size(); }
     const SystemConfig &config() const { return cfg_; }
 
+    /** The host thread pool launches run on; callers staging per-DPU
+     *  data may reuse it for their own index-sliced parallel work. */
+    ThreadPool &hostPool() { return *pool_; }
+
     /** Host upload into one DPU's MRAM. */
     void
     copyToMram(std::size_t dpu, std::uint64_t addr,
@@ -55,17 +74,24 @@ class DpuSet
         uploadDpusTouched_ += 1;
     }
 
-    /** Host download from one DPU's MRAM. */
+    /**
+     * Host download from one DPU's MRAM. The modelled transfer time is
+     * charged to the most recent launch's dpuToHostMs; downloads
+     * issued before any launch (e.g. readback of staged inputs) are
+     * accounted explicitly in preLaunchDownloadMs() instead of being
+     * silently dropped.
+     */
     void
     copyFromMram(std::size_t dpu, std::uint64_t addr,
                  std::span<std::uint8_t> bytes)
     {
         dpuAt(dpu).mram().read(addr, bytes.data(), bytes.size());
-        if (!launches_.empty()) {
-            auto &last = launches_.back();
-            last.dpuToHostMs +=
-                transferMs(bytes.size(), 1, cfg_.dpuToHostGbps);
-        }
+        const double ms =
+            transferMs(bytes.size(), 1, cfg_.dpuToHostGbps);
+        if (launches_.empty())
+            preLaunchDownloadMs_ += ms;
+        else
+            launches_.back().dpuToHostMs += ms;
     }
 
     /** Broadcast the same bytes into every DPU's MRAM. */
@@ -82,7 +108,10 @@ class DpuSet
 
     /**
      * Run the kernel with `num_tasklets` tasklets on every DPU and
-     * record a LaunchStats entry.
+     * record a LaunchStats entry. Independent DPUs execute
+     * concurrently across the host pool; all aggregation happens
+     * after the join in DPU index order (see the class comment for
+     * the determinism contract).
      */
     const LaunchStats &
     launch(unsigned num_tasklets, const Kernel &kernel)
@@ -96,10 +125,22 @@ class DpuSet
         pendingUploadBytes_ = 0;
         uploadDpusTouched_ = 0;
 
-        for (auto &d : dpus_) {
-            stats.dpus.push_back(d->run(num_tasklets, kernel));
+        stats.dpus.resize(dpus_.size());
+        stats.hostThreads = pool_->threadCount();
+        Timer wall;
+        pool_->parallelFor(dpus_.size(), [&](std::size_t i) {
+            stats.dpus[i] =
+                dpus_[i]->run(num_tasklets, kernel,
+                              /*defer_fail_fast=*/true);
+        });
+        stats.hostWallMs = wall.elapsedMs();
+
+        for (std::size_t i = 0; i < stats.dpus.size(); ++i) {
+            if (cfg_.dpu.checker.failFast &&
+                !stats.dpus[i].conflicts.clean())
+                panic(describeLaunchFailure(i, stats.dpus[i].conflicts));
             stats.maxCycles =
-                std::max(stats.maxCycles, stats.dpus.back().cycles);
+                std::max(stats.maxCycles, stats.dpus[i].cycles);
         }
         stats.kernelMs = stats.maxCycles / (cfg_.dpu.clockMhz * 1e3);
         launches_.push_back(std::move(stats));
@@ -117,13 +158,26 @@ class DpuSet
     /** All launches so far, in order. */
     const std::vector<LaunchStats> &launches() const { return launches_; }
 
-    /** Sum of totalMs() over all launches. */
+    /** Modelled time of downloads issued before the first launch. */
+    double preLaunchDownloadMs() const { return preLaunchDownloadMs_; }
+
+    /** Sum of totalMs() over all launches plus pre-launch downloads. */
     double
     totalModeledMs() const
     {
-        double sum = 0;
+        double sum = preLaunchDownloadMs_;
         for (const auto &l : launches_)
             sum += l.totalMs();
+        return sum;
+    }
+
+    /** Sum of hostWallMs over all launches (wall-clock diagnostic). */
+    double
+    totalHostWallMs() const
+    {
+        double sum = 0;
+        for (const auto &l : launches_)
+            sum += l.hostWallMs;
         return sum;
     }
 
@@ -154,10 +208,12 @@ class DpuSet
     }
 
     SystemConfig cfg_;
+    std::unique_ptr<ThreadPool> pool_;
     std::vector<std::unique_ptr<Dpu>> dpus_;
     std::vector<LaunchStats> launches_;
     std::uint64_t pendingUploadBytes_ = 0;
     std::size_t uploadDpusTouched_ = 0;
+    double preLaunchDownloadMs_ = 0;
 };
 
 } // namespace pim

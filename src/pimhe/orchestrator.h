@@ -14,6 +14,7 @@
 #define PIMHE_PIMHE_ORCHESTRATOR_H
 
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "bfv/ciphertext.h"
@@ -170,13 +171,20 @@ class PimHeSystem
         for (std::size_t l = 0; l < N; ++l)
             kp.q[l] = ctx_.ring().modulus().limb(l);
 
-        // Stage operands.
-        std::vector<std::uint8_t> buf(arr_bytes);
+        // Stage operands: flatten every DPU's slice concurrently into
+        // disjoint regions of one buffer, then issue the MRAM copies
+        // in DPU order so transfer accounting stays deterministic.
+        std::vector<std::uint8_t> abuf(num_dpus * arr_bytes);
+        std::vector<std::uint8_t> bbuf(num_dpus * arr_bytes);
+        dpus_.hostPool().parallelFor(num_dpus, [&](std::size_t d) {
+            flattenSlice(a, d * per_dpu, per_dpu,
+                         sliceOf(abuf, d, arr_bytes));
+            flattenSlice(b, d * per_dpu, per_dpu,
+                         sliceOf(bbuf, d, arr_bytes));
+        });
         for (std::size_t d = 0; d < num_dpus; ++d) {
-            flattenSlice(a, d * per_dpu, per_dpu, buf);
-            dpus_.copyToMram(d, kp.mramA, buf);
-            flattenSlice(b, d * per_dpu, per_dpu, buf);
-            dpus_.copyToMram(d, kp.mramB, buf);
+            dpus_.copyToMram(d, kp.mramA, sliceOf(abuf, d, arr_bytes));
+            dpus_.copyToMram(d, kp.mramB, sliceOf(bbuf, d, arr_bytes));
         }
 
         dpus_.launch(tasklets_,
@@ -184,23 +192,36 @@ class PimHeSystem
                          ? pimhe_kernels::makeVecMulModQKernel(kp)
                          : pimhe_kernels::makeVecAddModQKernel(kp));
 
-        // Collect results.
+        // Collect results: download in DPU order (accounting), then
+        // unflatten concurrently — each DPU's flat element range maps
+        // to disjoint output coefficients.
         std::vector<Ciphertext<N>> out(a.size());
         for (auto &ct : out)
             for (std::size_t cidx = 0; cidx < comps; ++cidx)
                 ct.comps.emplace_back(n);
-        for (std::size_t d = 0; d < num_dpus; ++d) {
-            dpus_.copyFromMram(d, kp.mramOut, buf);
-            unflattenSlice(buf, d * per_dpu, per_dpu, out);
-        }
+        std::vector<std::uint8_t> obuf(num_dpus * arr_bytes);
+        for (std::size_t d = 0; d < num_dpus; ++d)
+            dpus_.copyFromMram(d, kp.mramOut,
+                               sliceOf(obuf, d, arr_bytes));
+        dpus_.hostPool().parallelFor(num_dpus, [&](std::size_t d) {
+            unflattenSlice(sliceOf(obuf, d, arr_bytes), d * per_dpu,
+                           per_dpu, out);
+        });
         return out;
+    }
+
+    static std::span<std::uint8_t>
+    sliceOf(std::vector<std::uint8_t> &buf, std::size_t idx,
+            std::size_t bytes)
+    {
+        return std::span<std::uint8_t>(buf.data() + idx * bytes, bytes);
     }
 
     /** Copy elements [begin, begin+count) of the flat view into buf. */
     void
     flattenSlice(const std::vector<Ciphertext<N>> &cts,
                  std::size_t begin, std::size_t count,
-                 std::vector<std::uint8_t> &buf) const
+                 std::span<std::uint8_t> buf) const
     {
         const std::size_t n = ctx_.ring().degree();
         const std::size_t comps = cts.front().size();
@@ -221,7 +242,7 @@ class PimHeSystem
 
     /** Inverse of flattenSlice into the output ciphertexts. */
     void
-    unflattenSlice(const std::vector<std::uint8_t> &buf,
+    unflattenSlice(std::span<const std::uint8_t> buf,
                    std::size_t begin, std::size_t count,
                    std::vector<Ciphertext<N>> &out) const
     {

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Differential fuzzing of the PIM execution path against the host
+ * evaluator: seeded randomized chains of BFV operations run both on
+ * PimHeSystem (through the host-parallel execution engine) and on the
+ * host Evaluator, asserting bit-exact ciphertexts at every step and
+ * correct decryption of the add chains. Three parameter widths
+ * (32/64/128-bit moduli) at two ring degrees give six parameter sets;
+ * the iteration count across them exceeds 100.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pimhe/orchestrator.h"
+#include "test_util.h"
+
+namespace pimhe {
+namespace {
+
+using pimhe::testing::BfvHarness;
+using pimhe::testing::kSeed;
+
+pim::SystemConfig
+fuzzSystem(std::size_t dpus)
+{
+    pim::SystemConfig cfg;
+    cfg.numDpus = dpus;
+    // Exercise the parallel engine; results are thread-count
+    // invariant, so this cannot perturb the differential check.
+    cfg.hostThreads = 4;
+    cfg.dpu.checker.enabled = true;
+    cfg.dpu.checker.failFast = true;
+    return cfg;
+}
+
+template <std::size_t N>
+void
+expectCiphertextsEqual(const Ciphertext<N> &a, const Ciphertext<N> &b,
+                       const char *what, int iter)
+{
+    ASSERT_EQ(a.size(), b.size()) << what << " iter " << iter;
+    for (std::size_t c = 0; c < a.size(); ++c)
+        ASSERT_TRUE(a[c] == b[c])
+            << what << " differs: iter " << iter << " comp " << c;
+}
+
+/**
+ * One fuzzing campaign: a chain of ciphertexts evolves through
+ * PIM-executed adds (mirrored on the host evaluator), interleaved
+ * with coefficientwise-product and full-BFV-multiply differential
+ * checks on the current chain state.
+ */
+template <std::size_t N>
+void
+runCampaign(std::size_t degree, std::uint64_t seed, int iters)
+{
+    BfvHarness<N> h(degree, seed);
+    constexpr std::size_t kChain = 3;
+    PimHeSystem<N> pimsys(h.ctx, fuzzSystem(4), 4, 12);
+
+    // Second context with the PIM convolver so full BFV multiplies
+    // can be compared against the host-convolver evaluator.
+    BfvContext<N> pim_ctx(h.params);
+    pim_ctx.setConvolver(std::make_unique<PimConvolver<N>>(
+        pim_ctx.ring(), fuzzSystem(1), 11));
+    Evaluator<N> pim_eval(pim_ctx);
+
+    Rng rng(seed ^ 0xD1FFu);
+    std::vector<Ciphertext<N>> chain;
+    std::vector<std::uint64_t> expected;
+    for (std::size_t i = 0; i < kChain; ++i) {
+        const std::uint64_t v = rng.uniform(h.params.t);
+        chain.push_back(h.encryptScalar(v));
+        expected.push_back(v);
+    }
+
+    const auto &red = h.ctx.ring().reducer();
+    for (int iter = 0; iter < iters; ++iter) {
+        std::vector<Ciphertext<N>> fresh;
+        std::vector<std::uint64_t> vals;
+        for (std::size_t i = 0; i < kChain; ++i) {
+            const std::uint64_t v = rng.uniform(h.params.t);
+            fresh.push_back(h.encryptScalar(v));
+            vals.push_back(v);
+        }
+
+        switch (rng.uniform(3)) {
+          case 0: {
+            // Homomorphic add on PIM vs host; advances the chain.
+            const auto pim = pimsys.addCiphertextVectors(chain, fresh);
+            for (std::size_t i = 0; i < kChain; ++i) {
+                const auto host = h.eval.add(chain[i], fresh[i]);
+                expectCiphertextsEqual(host, pim[i], "add", iter);
+                expected[i] = (expected[i] + vals[i]) % h.params.t;
+            }
+            chain = pim;
+            break;
+          }
+          case 1: {
+            // Coefficientwise modular product vs the host reducer.
+            const auto pim = pimsys.mulCoefficientwise(chain, fresh);
+            for (std::size_t i = 0; i < kChain; ++i)
+                for (std::size_t c = 0; c < chain[i].size(); ++c)
+                    for (std::size_t j = 0; j < h.params.n; ++j)
+                        ASSERT_EQ(pim[i][c][j],
+                                  red.mulMod(chain[i][c][j],
+                                             fresh[i][c][j]))
+                            << "iter " << iter << " ct " << i;
+            break;
+          }
+          case 2: {
+            // Full BFV multiply: PIM convolver vs host convolver.
+            // Fresh operands keep the product inside the one-mult
+            // noise budget, so decryption is also checkable.
+            const auto host = h.eval.multiply(fresh[0], fresh[1]);
+            const auto pim = pim_eval.multiply(fresh[0], fresh[1]);
+            expectCiphertextsEqual(host, pim, "multiply", iter);
+            EXPECT_EQ(h.decryptScalar(pim),
+                      vals[0] * vals[1] % h.params.t)
+                << "multiply decrypt, iter " << iter;
+            break;
+          }
+        }
+
+        // Decryption stays correct as the add chain deepens.
+        if (iter % 4 == 3)
+            for (std::size_t i = 0; i < kChain; ++i)
+                ASSERT_EQ(h.decryptScalar(chain[i]), expected[i])
+                    << "chain decrypt: iter " << iter << " ct " << i;
+    }
+    for (std::size_t i = 0; i < kChain; ++i)
+        EXPECT_EQ(h.decryptScalar(chain[i]), expected[i]);
+    EXPECT_GT(pimsys.totalModeledMs(), 0.0);
+}
+
+template <typename T>
+class DifferentialWidths : public ::testing::Test
+{
+};
+
+using DWidths = ::testing::Types<WideInt<1>, WideInt<2>, WideInt<4>>;
+TYPED_TEST_SUITE(DifferentialWidths, DWidths);
+
+TYPED_TEST(DifferentialWidths, RandomChainsDegree16)
+{
+    // 3 widths x 24 iters here + 3 widths x 32 iters below = 168
+    // randomized iterations over six (width, degree) parameter sets.
+    runCampaign<TypeParam::numLimbs>(16, kSeed, 24);
+}
+
+TYPED_TEST(DifferentialWidths, RandomChainsDegree32)
+{
+    runCampaign<TypeParam::numLimbs>(32, kSeed ^ 0xABCDEFull, 32);
+}
+
+} // namespace
+} // namespace pimhe

@@ -6,15 +6,20 @@
 #      checker-enabled conflict tests in tests/test_checker.cpp),
 #   2. the same under AddressSanitizer,
 #   3. the same under UndefinedBehaviorSanitizer,
-#   4. clang-format --dry-run -Werror over src/pim/ (if installed),
-#   5. a clang-tidy build (if installed).
+#   4. a ThreadSanitizer build running the concurrency-sensitive
+#      suites (labels `stress` and `differential`) with
+#      PIMHE_HOST_THREADS=16 to exercise the host-parallel engine,
+#   5. clang-format --dry-run -Werror over src/pim/ (if installed),
+#   6. a clang-tidy build (if installed).
 #
 # Sanitizer and clang steps degrade gracefully when the toolchain
 # lacks the binaries, so the script is safe to run anywhere; the
 # plain build + ctest step is always mandatory.
 #
 # Usage: tools/check.sh [--quick]
-#   --quick  plain build + ctest only (skip the sanitizer matrix)
+#   --quick  plain build + `ctest -L unit` only: skips the sanitizer
+#            matrix and the slower differential/stress suites (see
+#            the ctest labels set in tests/CMakeLists.txt)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,11 +44,42 @@ run_config() {
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
-run_config plain
-
-if [[ "${QUICK}" == "0" ]]; then
+if [[ "${QUICK}" == "1" ]]; then
+    # Quick tier: plain build, unit-labelled tests only.
+    dir="build-check-plain"
+    mkdir -p "${dir}"
+    echo "=== [plain] cmake configure ==="
+    cmake -B "${dir}" -S . > "${dir}/cmake.log" 2>&1 || {
+        cat "${dir}/cmake.log"
+        exit 1
+    }
+    echo "=== [plain] build ==="
+    cmake --build "${dir}" -j "${JOBS}"
+    echo "=== [plain] ctest -L unit ==="
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L unit
+else
+    run_config plain
     run_config asan -DPIMHE_SANITIZE=address
     run_config ubsan -DPIMHE_SANITIZE=undefined
+
+    # ThreadSanitizer leg: run the parallel-engine stress tests and
+    # the differential fuzz (both drive DpuSet launches across host
+    # threads) at a forced 16 host threads so data races in the
+    # execution engine surface even on small machines.
+    dir="build-check-tsan"
+    mkdir -p "${dir}"
+    echo "=== [tsan] cmake configure ==="
+    cmake -B "${dir}" -S . -DPIMHE_SANITIZE=thread \
+        > "${dir}/cmake.log" 2>&1 || {
+        cat "${dir}/cmake.log"
+        exit 1
+    }
+    echo "=== [tsan] build ==="
+    cmake --build "${dir}" -j "${JOBS}" \
+        --target test_parallel_exec test_differential
+    echo "=== [tsan] ctest -L 'stress|differential' (16 threads) ==="
+    PIMHE_HOST_THREADS=16 ctest --test-dir "${dir}" \
+        --output-on-failure -j "${JOBS}" -L 'stress|differential'
 fi
 
 if command -v clang-format > /dev/null 2>&1; then
