@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Static kernel resource footprints.
+ *
+ * A KernelFootprint is a declarative description of everything a
+ * kernel launch will touch: WRAM bytes (shared staging + per-tasklet
+ * buffers + a stack estimate), MRAM regions with their access modes,
+ * and the DMA transfer shapes it issues. Footprints are pure data —
+ * building one runs no simulated cycles — so the LaunchVerifier in
+ * analysis/verifier.h can prove a whole launch plan safe *before*
+ * anything executes, complementing the dynamic conflict checker in
+ * pim/checker.h which only sees what a given run happens to execute.
+ *
+ * Every kernel family in src/pimhe declares a footprint builder next
+ * to its make*Kernel factory (see kernels.h / ntt_kernel.h); the
+ * builders mirror the kernels' layout arithmetic exactly, so a layout
+ * change that breaks a budget shows up as a verifier diagnostic, not
+ * as silent corruption on real hardware.
+ */
+
+#ifndef PIMHE_ANALYSIS_FOOTPRINT_H
+#define PIMHE_ANALYSIS_FOOTPRINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimhe {
+namespace analysis {
+
+/** How a kernel uses an MRAM region. */
+enum class Access : std::uint8_t
+{
+    Read,      //!< kernel only reads (operand staging)
+    Write,     //!< kernel only writes (results)
+    ReadWrite, //!< both (in-place updates)
+};
+
+inline bool
+writes(Access a)
+{
+    return a != Access::Read;
+}
+
+/** One contiguous MRAM byte range a kernel launch touches. */
+struct MramRegion
+{
+    std::string name;        //!< e.g. "operand A", "result"
+    std::uint64_t begin = 0; //!< first byte
+    std::uint64_t bytes = 0; //!< extent
+    Access access = Access::Read;
+
+    std::uint64_t end() const { return begin + bytes; }
+
+    /** True when the byte ranges intersect. */
+    bool
+    overlaps(const MramRegion &other) const
+    {
+        return begin < other.end() && other.begin < end();
+    }
+};
+
+/** The shape of the DMA transfers one code path issues. */
+struct DmaPattern
+{
+    std::string name;            //!< e.g. "chunk staging"
+    std::uint32_t minBytes = 0;  //!< smallest transfer issued
+    std::uint32_t maxBytes = 0;  //!< largest transfer issued
+    std::uint64_t mramAlign = 8; //!< guaranteed MRAM address alignment
+    std::uint32_t wramAlign = 8; //!< guaranteed WRAM address alignment
+};
+
+/**
+ * Default per-tasklet stack estimate, in bytes.
+ *
+ * On real UPMEM hardware every tasklet's stack lives in WRAM alongside
+ * kernel buffers; the SDK defaults to considerably more, but the
+ * shipped kernels are shallow leaf loops over fixed-size limb arrays
+ * (<= 2 * kMaxLimbs 32-bit words per frame, two frames deep), so a
+ * conservative flat estimate keeps full-occupancy launches honest
+ * without rejecting layouts that are fine in practice. Kernels with
+ * deeper recursion must raise stackBytesPerTasklet explicitly.
+ */
+constexpr std::uint32_t kDefaultStackBytes = 256;
+
+/**
+ * Everything one kernel launch statically promises about its resource
+ * usage. Byte numbers are concrete (the builder already knows the
+ * shape parameters and the planned tasklet count's layout).
+ */
+struct KernelFootprint
+{
+    std::string kernel; //!< kernel family name for diagnostics
+
+    /** Inclusive tasklet range this kernel's WRAM layout supports
+     *  (maxTasklets already accounts for the hardware cap). */
+    unsigned minTasklets = 1;
+    unsigned maxTasklets = 1;
+
+    /** WRAM staged once per DPU (shared tables / operand copies). */
+    std::uint32_t wramSharedBytes = 0;
+
+    /** WRAM each tasklet owns (chunk buffers, output slots). */
+    std::uint32_t wramBytesPerTasklet = 0;
+
+    /** Stack estimate per tasklet (also WRAM on real hardware). */
+    std::uint32_t stackBytesPerTasklet = kDefaultStackBytes;
+
+    std::vector<MramRegion> mramRegions;
+    std::vector<DmaPattern> dmaPatterns;
+
+    /** Total WRAM bytes a launch with `tasklets` tasklets needs. */
+    std::uint64_t
+    wramTotal(unsigned tasklets) const
+    {
+        return static_cast<std::uint64_t>(wramSharedBytes) +
+               static_cast<std::uint64_t>(tasklets) *
+                   (static_cast<std::uint64_t>(wramBytesPerTasklet) +
+                    stackBytesPerTasklet);
+    }
+
+    /** Total MRAM bytes staged/written across declared regions. */
+    std::uint64_t
+    mramTotal() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &r : mramRegions)
+            sum += r.bytes;
+        return sum;
+    }
+
+    /** Largest declared MRAM end offset (0 when no regions). */
+    std::uint64_t
+    mramHighWater() const
+    {
+        std::uint64_t hw = 0;
+        for (const auto &r : mramRegions)
+            hw = hw < r.end() ? r.end() : hw;
+        return hw;
+    }
+};
+
+/** Largest power of two dividing addr (capped at `cap`), used by the
+ *  footprint builders to derive guaranteed DMA address alignment. */
+inline std::uint64_t
+alignmentOf(std::uint64_t addr, std::uint64_t cap = 8)
+{
+    if (addr == 0)
+        return cap;
+    std::uint64_t a = addr & (~addr + 1); // lowest set bit
+    return a < cap ? a : cap;
+}
+
+} // namespace analysis
+} // namespace pimhe
+
+#endif // PIMHE_ANALYSIS_FOOTPRINT_H

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * LaunchVerifier implementation: the budget checks and report
+ * rendering for pre-launch static verification.
+ */
+
+#include "analysis/verifier.h"
+
+#include <sstream>
+
+namespace pimhe {
+namespace analysis {
+
+const char *
+toString(Resource r)
+{
+    switch (r) {
+      case Resource::Wram:
+        return "WRAM";
+      case Resource::Mram:
+        return "MRAM";
+      case Resource::Dma:
+        return "DMA";
+      case Resource::Tasklets:
+        return "tasklets";
+      case Resource::Staging:
+        return "staging";
+      case Resource::Params:
+        return "params";
+    }
+    return "?";
+}
+
+std::string
+Violation::describe() const
+{
+    std::ostringstream os;
+    os << "[" << toString(resource) << "] " << what << " (budget "
+       << budget << ", usage " << usage << ")";
+    return os.str();
+}
+
+std::string
+VerifyReport::summary() const
+{
+    std::ostringstream os;
+    os << "launch plan '" << kernel << "' @ " << tasklets
+       << " tasklets: ";
+    if (ok()) {
+        os << "OK\n";
+    } else {
+        os << violations.size() << " violation(s)\n";
+        for (const auto &v : violations)
+            os << "  " << v.describe() << "\n";
+    }
+    for (const auto &n : notes)
+        os << "  note: " << n << "\n";
+    return os.str();
+}
+
+namespace {
+
+void
+addViolation(VerifyReport &report, Resource r, std::uint64_t budget,
+             std::uint64_t usage, const std::string &what)
+{
+    Violation v;
+    v.resource = r;
+    v.budget = budget;
+    v.usage = usage;
+    v.what = what;
+    report.violations.push_back(std::move(v));
+}
+
+void
+note(VerifyReport &report, const std::string &line)
+{
+    report.notes.push_back(line);
+}
+
+std::string
+byteBudgetLine(const char *label, std::uint64_t usage,
+               std::uint64_t budget)
+{
+    std::ostringstream os;
+    os << label << ": " << usage << " / " << budget << " bytes";
+    return os.str();
+}
+
+} // namespace
+
+VerifyReport
+LaunchVerifier::verify(const KernelFootprint &fp,
+                       unsigned tasklets) const
+{
+    VerifyReport report;
+    report.kernel = fp.kernel;
+    report.tasklets = tasklets;
+
+    // ----- tasklet bounds -----
+    // Both the hardware cap and the footprint's own supported range
+    // (a WRAM layout may stop fitting well below 24 tasklets).
+    const unsigned hw_max = cfg_.maxTasklets;
+    const unsigned fp_max =
+        fp.maxTasklets < hw_max ? fp.maxTasklets : hw_max;
+    if (tasklets < 1 || tasklets < fp.minTasklets ||
+        tasklets > fp_max) {
+        std::ostringstream os;
+        os << "tasklet count " << tasklets
+           << " outside supported range [" << fp.minTasklets << ", "
+           << fp_max << "]"
+           << (fp.maxTasklets < hw_max ? " (WRAM layout limit)"
+                                       : " (hardware limit)");
+        addViolation(report, Resource::Tasklets, fp_max, tasklets,
+                     os.str());
+    } else {
+        std::ostringstream os;
+        os << "tasklets: " << tasklets << " in [" << fp.minTasklets
+           << ", " << fp_max << "]";
+        note(report, os.str());
+    }
+
+    // ----- WRAM capacity -----
+    // Use the *planned* tasklet count; the stack estimate rides along
+    // because real-hardware stacks live in the same 64 KB.
+    const std::uint64_t wram_usage = fp.wramTotal(tasklets);
+    if (wram_usage > cfg_.wramBytes) {
+        std::ostringstream os;
+        os << "WRAM over budget: " << fp.wramSharedBytes
+           << " shared + " << tasklets << " x ("
+           << fp.wramBytesPerTasklet << " buffers + "
+           << fp.stackBytesPerTasklet << " stack) = " << wram_usage
+           << " bytes exceeds " << cfg_.wramBytes;
+        addViolation(report, Resource::Wram, cfg_.wramBytes,
+                     wram_usage, os.str());
+    } else {
+        note(report,
+             byteBudgetLine("WRAM", wram_usage, cfg_.wramBytes));
+    }
+
+    // ----- MRAM staging capacity -----
+    const std::uint64_t high_water = fp.mramHighWater();
+    if (high_water > cfg_.mramBytes) {
+        std::ostringstream os;
+        os << "per-DPU staging does not fit MRAM: regions extend to "
+           << "byte " << high_water << " of " << cfg_.mramBytes;
+        addViolation(report, Resource::Staging, cfg_.mramBytes,
+                     high_water, os.str());
+    } else {
+        note(report,
+             byteBudgetLine("MRAM staging", high_water,
+                            cfg_.mramBytes));
+    }
+
+    // ----- MRAM region overlap -----
+    for (std::size_t i = 0; i < fp.mramRegions.size(); ++i) {
+        for (std::size_t j = i + 1; j < fp.mramRegions.size(); ++j) {
+            const MramRegion &a = fp.mramRegions[i];
+            const MramRegion &b = fp.mramRegions[j];
+            if (!a.overlaps(b))
+                continue;
+            if (!writes(a.access) && !writes(b.access))
+                continue; // read/read sharing is safe
+            const std::uint64_t obegin =
+                a.begin > b.begin ? a.begin : b.begin;
+            const std::uint64_t oend =
+                a.end() < b.end() ? a.end() : b.end();
+            std::ostringstream os;
+            os << "MRAM region overlap: '" << a.name << "' ["
+               << a.begin << ", " << a.end() << ") and '" << b.name
+               << "' [" << b.begin << ", " << b.end() << ") share ["
+               << obegin << ", " << oend << ") with a writer";
+            addViolation(report, Resource::Mram, 0, oend - obegin,
+                         os.str());
+        }
+    }
+    if (!report.names(Resource::Mram)) {
+        std::ostringstream os;
+        os << "MRAM regions: " << fp.mramRegions.size()
+           << " declared, no write overlap";
+        note(report, os.str());
+    }
+
+    // ----- DMA patterns -----
+    for (const auto &dma : fp.dmaPatterns) {
+        if (dma.minBytes < kDmaMinBytes ||
+            dma.maxBytes > kDmaMaxBytes ||
+            dma.minBytes % kDmaAlign != 0 ||
+            dma.maxBytes % kDmaAlign != 0) {
+            std::ostringstream os;
+            os << "DMA size out of bounds: '" << dma.name
+               << "' transfers " << dma.minBytes << ".."
+               << dma.maxBytes << " bytes (must be "
+               << kDmaMinBytes << ".." << kDmaMaxBytes
+               << ", multiples of " << kDmaAlign << ")";
+            addViolation(report, Resource::Dma, kDmaMaxBytes,
+                         dma.maxBytes, os.str());
+        }
+        if (dma.mramAlign % kDmaAlign != 0 ||
+            dma.wramAlign % kDmaAlign != 0) {
+            std::ostringstream os;
+            os << "unaligned DMA: '" << dma.name
+               << "' only guarantees MRAM alignment "
+               << dma.mramAlign << " / WRAM alignment "
+               << dma.wramAlign << " (hardware needs " << kDmaAlign
+               << ")";
+            addViolation(
+                report, Resource::Dma, kDmaAlign,
+                dma.mramAlign % kDmaAlign != 0 ? dma.mramAlign
+                                               : dma.wramAlign,
+                os.str());
+        }
+    }
+    if (!report.names(Resource::Dma)) {
+        std::ostringstream os;
+        os << "DMA: " << fp.dmaPatterns.size()
+           << " pattern(s), all 8-byte aligned, sizes within 8..2048";
+        note(report, os.str());
+    }
+
+    return report;
+}
+
+} // namespace analysis
+} // namespace pimhe

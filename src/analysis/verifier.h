@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Pre-launch static verification of kernel launch plans.
+ *
+ * LaunchVerifier checks a KernelFootprint (analysis/footprint.h)
+ * against the hardware limits of a DpuConfig and returns a structured
+ * VerifyReport: every violated budget is named with its exact budget
+ * and usage, and every satisfied budget leaves a note behind, so a
+ * report doubles as an admission-control audit trail. Nothing here
+ * runs simulated cycles — the whole point is to reject an unsafe
+ * launch plan before DpuSet::launch spends any.
+ *
+ * The checks mirror the real UPMEM gen1 constraints the paper's
+ * results hinge on:
+ *
+ *  - 64 KB WRAM per DPU, shared by kernel buffers *and* every
+ *    tasklet's stack;
+ *  - ~62 MB usable MRAM per DPU (modelled as 64 MB here);
+ *  - DMA transfers of 8..2048 bytes at 8-byte-aligned addresses;
+ *  - at most 24 hardware tasklets;
+ *  - declared MRAM regions must not overlap when at least one side
+ *    writes (cross-region clobber = silent corruption on hardware).
+ */
+
+#ifndef PIMHE_ANALYSIS_VERIFIER_H
+#define PIMHE_ANALYSIS_VERIFIER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/footprint.h"
+#include "pim/config.h"
+
+namespace pimhe {
+namespace analysis {
+
+/** The budget a violation exhausted (what the diagnostic names). */
+enum class Resource : std::uint8_t
+{
+    Wram,     //!< WRAM capacity (buffers + stacks)
+    Mram,     //!< declared MRAM region overlap
+    Dma,      //!< DMA size or alignment constraint
+    Tasklets, //!< tasklet count outside the supported range
+    Staging,  //!< per-DPU MRAM staging does not fit capacity
+    Params,   //!< arithmetic parameter set rejected (interval.h)
+};
+
+const char *toString(Resource r);
+
+/** One violated budget, with the exact numbers. */
+struct Violation
+{
+    Resource resource = Resource::Wram;
+    std::uint64_t budget = 0; //!< the hardware limit
+    std::uint64_t usage = 0;  //!< what the plan needs
+    std::string what;         //!< human-readable, names the resource
+
+    std::string describe() const;
+};
+
+/** Outcome of verifying one launch plan. */
+struct VerifyReport
+{
+    std::string kernel;    //!< footprint's kernel name
+    unsigned tasklets = 0; //!< planned tasklet count
+    std::vector<Violation> violations;
+    std::vector<std::string> notes; //!< satisfied budgets (audit trail)
+
+    bool ok() const { return violations.empty(); }
+
+    /** True when some violation names this resource. */
+    bool
+    names(Resource r) const
+    {
+        for (const auto &v : violations)
+            if (v.resource == r)
+                return true;
+        return false;
+    }
+
+    /** Multi-line report: violations first, then budget notes. */
+    std::string summary() const;
+};
+
+/**
+ * Checks launch plans against one DPU configuration's hardware
+ * limits. Stateless apart from the captured limits; cheap to
+ * construct per launch.
+ */
+class LaunchVerifier
+{
+  public:
+    explicit
+    LaunchVerifier(const pim::DpuConfig &cfg)
+        : cfg_(cfg)
+    {}
+
+    /** DMA limits enforced (mirrors TaskletCtx::chargeDma). */
+    static constexpr std::uint32_t kDmaMinBytes = 8;
+    static constexpr std::uint32_t kDmaMaxBytes = 2048;
+    static constexpr std::uint64_t kDmaAlign = 8;
+
+    /**
+     * Verify a footprint at a planned tasklet count. Returns the full
+     * report; callers gate on report.ok().
+     */
+    VerifyReport verify(const KernelFootprint &fp,
+                        unsigned tasklets) const;
+
+  private:
+    pim::DpuConfig cfg_;
+};
+
+} // namespace analysis
+} // namespace pimhe
+
+#endif // PIMHE_ANALYSIS_VERIFIER_H

@@ -95,6 +95,16 @@ struct SystemConfig
      */
     std::size_t hostThreads = 0;
 
+    /**
+     * When true, DpuSet::launch overloads that receive a
+     * KernelFootprint (analysis/footprint.h) run the static
+     * LaunchVerifier before any simulated cycle and panic on a
+     * violated budget, with the report retained in
+     * DpuSet::lastVerify(). Off by default so ad-hoc experiments pay
+     * nothing; the test suite turns it on.
+     */
+    bool verifyBeforeLaunch = false;
+
     /** Total PIM-enabled memory capacity in bytes (158 GB). */
     double
     totalMemoryBytes() const

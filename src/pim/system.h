@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "pim/dpu.h"
@@ -147,6 +148,40 @@ class DpuSet
         return launches_.back();
     }
 
+    /**
+     * Verified launch: when cfg.verifyBeforeLaunch is set, check the
+     * footprint against this set's DpuConfig with the static
+     * LaunchVerifier first and panic — before any simulated cycle or
+     * modelled transfer — if the plan violates a hardware budget. The
+     * full report (violations or satisfied-budget notes) is retained
+     * in lastVerify() either way. With verifyBeforeLaunch off the
+     * footprint is ignored and this is exactly launch() above.
+     */
+    const LaunchStats &
+    launch(unsigned num_tasklets, const Kernel &kernel,
+           const analysis::KernelFootprint &footprint)
+    {
+        if (cfg_.verifyBeforeLaunch) {
+            const analysis::LaunchVerifier verifier(cfg_.dpu);
+            lastVerify_ = verifier.verify(footprint, num_tasklets);
+            hasVerify_ = true;
+            if (!lastVerify_.ok())
+                panic("pre-launch verification rejected kernel '",
+                      footprint.kernel, "':\n", lastVerify_.summary());
+        }
+        return launch(num_tasklets, kernel);
+    }
+
+    /** Report of the most recent verified launch attempt. */
+    const analysis::VerifyReport &
+    lastVerify() const
+    {
+        PIMHE_ASSERT(hasVerify_,
+                     "no verified launch recorded (verifyBeforeLaunch "
+                     "off or footprint-less launch() used)");
+        return lastVerify_;
+    }
+
     /** Stats of the most recent launch (downloads keep updating it). */
     const LaunchStats &
     lastLaunch() const
@@ -214,6 +249,8 @@ class DpuSet
     std::uint64_t pendingUploadBytes_ = 0;
     std::size_t uploadDpusTouched_ = 0;
     double preLaunchDownloadMs_ = 0;
+    analysis::VerifyReport lastVerify_;
+    bool hasVerify_ = false;
 };
 
 } // namespace pim

@@ -231,9 +231,9 @@ class PimCostModel : public perf::PlatformModel
             return it->second;
         // Probe at two shapes that are exact multiples of the
         // tasklet x chunk tiling so the fit is exact there.
-        const std::uint32_t chunk = pimhe_kernels::wramChunkBytes(
-                                        cfg_.dpu, tasklets_) /
-                                    (limbs * 4);
+        const std::uint32_t chunk = static_cast<std::uint32_t>(
+            pimhe_kernels::wramChunkBytes(cfg_.dpu, tasklets_) /
+            (limbs * 4));
         const std::size_t e1 =
             static_cast<std::size_t>(tasklets_) * chunk * 2;
         const std::size_t e2 = 2 * e1;

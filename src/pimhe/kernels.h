@@ -24,6 +24,7 @@
 #include <array>
 #include <cstdint>
 
+#include "analysis/footprint.h"
 #include "pim/dpu.h"
 #include "pim/wide_ops.h"
 
@@ -192,6 +193,52 @@ makeVecMulModQKernel(VecKernelParams p)
     };
 }
 
+/**
+ * Static resource footprint of the elementwise kernels (add and mul
+ * share one memory shape) at a planned tasklet count. Mirrors
+ * runElementwise's layout arithmetic exactly: three chunk buffers per
+ * tasklet, three flat MRAM arrays, chunked 8-byte-aligned DMA.
+ */
+inline analysis::KernelFootprint
+vecKernelFootprint(const VecKernelParams &p, const pim::DpuConfig &cfg,
+                   unsigned tasklets, bool multiply)
+{
+    analysis::KernelFootprint fp;
+    fp.kernel = multiply ? "vec-mul-modq" : "vec-add-modq";
+    fp.minTasklets = 1;
+    fp.maxTasklets = cfg.maxTasklets;
+
+    const std::uint32_t elem_bytes = p.elemBytes();
+    const std::uint32_t chunk =
+        wramChunkBytes(cfg, std::max(1u, tasklets));
+    fp.wramBytesPerTasklet = 3 * chunk;
+
+    const std::uint64_t arr =
+        (static_cast<std::uint64_t>(p.elems) * elem_bytes + 7) / 8 * 8;
+    fp.mramRegions = {
+        {"operand A", p.mramA, arr, analysis::Access::Read},
+        {"operand B", p.mramB, arr, analysis::Access::Read},
+        {"result", p.mramOut, arr, analysis::Access::Write},
+    };
+
+    // Every transfer is min(chunk_elems, tail) elements rounded up to
+    // the 8-byte DMA granule; alignedTaskletRange keeps each element
+    // offset a multiple of 8 bytes, so guaranteed address alignment
+    // reduces to the base offsets'.
+    const std::uint32_t chunk_elems =
+        std::max<std::uint32_t>(1, chunk / elem_bytes);
+    analysis::DmaPattern dma;
+    dma.name = "chunk staging";
+    dma.minBytes = 8;
+    dma.maxBytes = (chunk_elems * elem_bytes + 7) / 8 * 8;
+    dma.mramAlign = std::min(
+        {analysis::alignmentOf(p.mramA), analysis::alignmentOf(p.mramB),
+         analysis::alignmentOf(p.mramOut)});
+    dma.wramAlign = 8; // chunk is a power of two >= 8
+    fp.dmaPatterns = {dma};
+    return fp;
+}
+
 /** Parameters of the negacyclic convolution kernel. */
 struct ConvKernelParams
 {
@@ -340,6 +387,69 @@ makeNegacyclicConvKernel(ConvKernelParams p)
             ctx.charge(5); // outer loop overhead
         }
     };
+}
+
+/**
+ * Static resource footprint of the negacyclic convolution kernel.
+ * WRAM holds both operand polynomials once (shared) plus one
+ * accumulator staging slot per tasklet; maxTasklets is the layout's
+ * own ceiling including the stack reserve, which the verifier checks
+ * against the planned count.
+ */
+inline analysis::KernelFootprint
+convKernelFootprint(const ConvKernelParams &p,
+                    const pim::DpuConfig &cfg)
+{
+    analysis::KernelFootprint fp;
+    fp.kernel = "negacyclic-conv";
+    fp.minTasklets = 1;
+
+    const std::uint64_t poly_bytes =
+        static_cast<std::uint64_t>(p.n) * p.limbs * 4;
+    const std::uint32_t acc_bytes = p.accLimbs() * 4;
+    fp.wramSharedBytes = static_cast<std::uint32_t>(2 * poly_bytes);
+    fp.wramBytesPerTasklet = acc_bytes;
+
+    const std::uint64_t per_tasklet =
+        static_cast<std::uint64_t>(acc_bytes) + fp.stackBytesPerTasklet;
+    const std::uint64_t avail = cfg.wramBytes > 2 * poly_bytes
+                                    ? cfg.wramBytes - 2 * poly_bytes
+                                    : 0;
+    fp.maxTasklets = static_cast<unsigned>(
+        std::min<std::uint64_t>(cfg.maxTasklets, avail / per_tasklet));
+
+    fp.mramRegions = {
+        {"operand A", p.mramA, poly_bytes, analysis::Access::Read},
+        {"operand B", p.mramB, poly_bytes, analysis::Access::Read},
+        {"accumulators", p.mramOut,
+         static_cast<std::uint64_t>(p.n) * acc_bytes,
+         analysis::Access::Write},
+    };
+
+    // Operand staging runs in 2048-byte strides with a tail of
+    // poly_bytes mod 2048; poly_bytes is a multiple of 8 for every
+    // power-of-two degree, so the tail stays a legal transfer.
+    analysis::DmaPattern stage;
+    stage.name = "operand staging";
+    stage.maxBytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(2048, poly_bytes));
+    stage.minBytes = poly_bytes % 2048 == 0
+                         ? stage.maxBytes
+                         : static_cast<std::uint32_t>(poly_bytes % 2048);
+    stage.mramAlign = std::min(analysis::alignmentOf(p.mramA),
+                               analysis::alignmentOf(p.mramB));
+    stage.wramAlign = 8;
+    // One accumulator writeback per output coefficient (accLimbs() is
+    // rounded to an even limb count precisely for this transfer).
+    analysis::DmaPattern writeback;
+    writeback.name = "accumulator writeback";
+    writeback.minBytes = acc_bytes;
+    writeback.maxBytes = acc_bytes;
+    writeback.mramAlign = analysis::alignmentOf(p.mramOut);
+    writeback.wramAlign = static_cast<std::uint32_t>(
+        analysis::alignmentOf(2 * poly_bytes));
+    fp.dmaPatterns = {stage, writeback};
+    return fp;
 }
 
 } // namespace pimhe_kernels

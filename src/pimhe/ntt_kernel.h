@@ -229,6 +229,69 @@ makeNttMulKernel(NttKernelParams kp)
     };
 }
 
+/**
+ * Static resource footprint of the NTT product kernel. WRAM holds the
+ * two twiddle tables once (shared) plus a two-polynomial slice per
+ * tasklet; maxTasklets is the layout's ceiling including the stack
+ * reserve. The stack reserve makes this slightly stricter than the
+ * kernel's own assert — on hardware the tasklet stacks really do live
+ * in the same 64 KB, so a plan the verifier rejects at the margin
+ * would overflow stacks into buffers there.
+ */
+inline analysis::KernelFootprint
+nttKernelFootprint(const NttKernelParams &kp,
+                   const pim::DpuConfig &cfg)
+{
+    analysis::KernelFootprint fp;
+    fp.kernel = "ntt-mul";
+    fp.minTasklets = 1;
+
+    const std::uint64_t poly_bytes =
+        static_cast<std::uint64_t>(kp.n) * 4;
+    fp.wramSharedBytes = static_cast<std::uint32_t>(2 * poly_bytes);
+    fp.wramBytesPerTasklet =
+        static_cast<std::uint32_t>(2 * poly_bytes);
+
+    const std::uint64_t per_tasklet =
+        2 * poly_bytes + fp.stackBytesPerTasklet;
+    const std::uint64_t avail = cfg.wramBytes > 2 * poly_bytes
+                                    ? cfg.wramBytes - 2 * poly_bytes
+                                    : 0;
+    fp.maxTasklets = static_cast<unsigned>(
+        std::min<std::uint64_t>(cfg.maxTasklets, avail / per_tasklet));
+
+    const std::uint64_t batch_bytes = kp.count * poly_bytes;
+    fp.mramRegions = {
+        {"psi table", kp.mramPsi, poly_bytes, analysis::Access::Read},
+        {"psiInv table", kp.mramPsiInv, poly_bytes,
+         analysis::Access::Read},
+        {"operand A", kp.mramA, batch_bytes, analysis::Access::Read},
+        {"operand B", kp.mramB, batch_bytes, analysis::Access::Read},
+        {"result", kp.mramOut, batch_bytes, analysis::Access::Write},
+    };
+
+    // Tables, operands and results all move in 2048-byte strides with
+    // a poly_bytes mod 2048 tail (a multiple of 8 for power-of-two n).
+    analysis::DmaPattern stride;
+    stride.name = "polynomial staging";
+    stride.maxBytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(2048, poly_bytes));
+    stride.minBytes =
+        poly_bytes % 2048 == 0
+            ? stride.maxBytes
+            : static_cast<std::uint32_t>(poly_bytes % 2048);
+    stride.mramAlign = std::min(
+        {analysis::alignmentOf(kp.mramPsi),
+         analysis::alignmentOf(kp.mramPsiInv),
+         analysis::alignmentOf(kp.mramA),
+         analysis::alignmentOf(kp.mramB),
+         analysis::alignmentOf(kp.mramOut)});
+    stride.wramAlign =
+        static_cast<std::uint32_t>(analysis::alignmentOf(poly_bytes));
+    fp.dmaPatterns = {stride};
+    return fp;
+}
+
 /** Host-side helper: fill an NttKernelParams for a given (p, n). */
 inline NttKernelParams
 makeNttParams(std::uint32_t p, std::uint32_t n, std::uint32_t count)

@@ -190,7 +190,9 @@ class PimHeSystem
         dpus_.launch(tasklets_,
                      multiply
                          ? pimhe_kernels::makeVecMulModQKernel(kp)
-                         : pimhe_kernels::makeVecAddModQKernel(kp));
+                         : pimhe_kernels::makeVecAddModQKernel(kp),
+                     pimhe_kernels::vecKernelFootprint(
+                         kp, dpus_.config().dpu, tasklets_, multiply));
 
         // Collect results: download in DPU order (accounting), then
         // unflatten concurrently — each DPU's flat element range maps
@@ -310,7 +312,9 @@ class PimConvolver : public ExactConvolver<N>
         dpus.copyToMram(0, kp.mramA, flatten(a));
         dpus.copyToMram(0, kp.mramB, flatten(b));
         dpus.launch(tasklets_,
-                    pimhe_kernels::makeNegacyclicConvKernel(kp));
+                    pimhe_kernels::makeNegacyclicConvKernel(kp),
+                    pimhe_kernels::convKernelFootprint(
+                        kp, dpus.config().dpu));
 
         const std::size_t acc_limbs = kp.accLimbs();
         std::vector<std::uint8_t> buf(n * acc_limbs * 4);

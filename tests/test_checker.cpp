@@ -239,8 +239,8 @@ class ShippedKernels : public ::testing::TestWithParam<unsigned>
 
 INSTANTIATE_TEST_SUITE_P(Tasklets, ShippedKernels,
                          ::testing::Values(1u, 11u, 16u),
-                         [](const auto &info) {
-                             return "t" + std::to_string(info.param);
+                         [](const auto &tpi) {
+                             return "t" + std::to_string(tpi.param);
                          });
 
 /** Kernel-shape VecKernelParams matching cost_model.h's probes. */

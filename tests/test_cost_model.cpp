@@ -35,11 +35,11 @@ INSTANTIATE_TEST_SUITE_P(
                       FitCase{OpKind::VecMul, 2, 2048},
                       FitCase{OpKind::VecMul, 4, 1500},
                       FitCase{OpKind::VecMul, 4, 9973}),
-    [](const auto &info) {
-        return std::string(info.param.op == OpKind::VecAdd ? "add"
-                                                           : "mul") +
-               "L" + std::to_string(info.param.limbs) + "e" +
-               std::to_string(info.param.elems);
+    [](const auto &tpi) {
+        return std::string(tpi.param.op == OpKind::VecAdd ? "add"
+                                                          : "mul") +
+               "L" + std::to_string(tpi.param.limbs) + "e" +
+               std::to_string(tpi.param.elems);
     });
 
 TEST_P(CostModelFit, MatchesExactSimulationWithin2Percent)

@@ -25,6 +25,7 @@ fuzzSystem(std::size_t dpus)
 {
     pim::SystemConfig cfg;
     cfg.numDpus = dpus;
+    cfg.verifyBeforeLaunch = true;
     // Exercise the parallel engine; results are thread-count
     // invariant, so this cannot perturb the differential check.
     cfg.hostThreads = 4;
@@ -123,10 +124,12 @@ runCampaign(std::size_t degree, std::uint64_t seed, int iters)
         }
 
         // Decryption stays correct as the add chain deepens.
-        if (iter % 4 == 3)
-            for (std::size_t i = 0; i < kChain; ++i)
+        if (iter % 4 == 3) {
+            for (std::size_t i = 0; i < kChain; ++i) {
                 ASSERT_EQ(h.decryptScalar(chain[i]), expected[i])
                     << "chain decrypt: iter " << iter << " ct " << i;
+            }
+        }
     }
     for (std::size_t i = 0; i < kChain; ++i)
         EXPECT_EQ(h.decryptScalar(chain[i]), expected[i]);

@@ -26,6 +26,7 @@ void
 engineEquivalenceScenario()
 {
     pim::SystemConfig cfg;
+    cfg.verifyBeforeLaunch = true;
     cfg.numDpus = 1;
 
     std::vector<Ciphertext<N>> results;
@@ -68,6 +69,7 @@ TEST(Integration, ClientServerDeploymentFlow)
     // computation on the PIM server, only ciphertexts cross the wire.
     BfvHarness<4> h(16);
     pim::SystemConfig cfg;
+    cfg.verifyBeforeLaunch = true;
     cfg.numDpus = 4;
     PimHeSystem<4> server(h.ctx, cfg, 4, 12);
 
@@ -95,6 +97,7 @@ TEST(Integration, MixedPimAddAndMultiplyPipeline)
     // sum_i x_i^2 for x = {2, 3, 4} => 29.
     BfvHarness<4> h(16);
     pim::SystemConfig cfg;
+    cfg.verifyBeforeLaunch = true;
     cfg.numDpus = 2;
     h.ctx.setConvolver(std::make_unique<PimConvolver<4>>(
         h.ctx.ring(), cfg, 12));
@@ -112,6 +115,7 @@ TEST(Integration, WorkloadsAgreeAcrossEngines)
     const std::vector<std::uint64_t> xs = {3, 9, 15, 21};
     std::vector<double> variances;
     pim::SystemConfig cfg;
+    cfg.verifyBeforeLaunch = true;
     cfg.numDpus = 1;
     for (const auto kind : {baselines::EngineKind::CpuSchoolbook,
                             baselines::EngineKind::CpuSealLike,
@@ -155,6 +159,7 @@ TEST(Integration, FlattenRoundTripThroughMram)
     // coefficientwise) keep exact coefficients.
     BfvHarness<2> h(16);
     pim::SystemConfig cfg;
+    cfg.verifyBeforeLaunch = true;
     cfg.numDpus = 3;
     PimHeSystem<2> server(h.ctx, cfg, 3, 12);
     std::vector<Ciphertext<2>> as = {h.encryptScalar(7),

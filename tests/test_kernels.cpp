@@ -101,9 +101,9 @@ INSTANTIATE_TEST_SUITE_P(
                       ShapeParam{7, 3}, ShapeParam{64, 12},
                       ShapeParam{129, 16}, ShapeParam{1000, 11},
                       ShapeParam{513, 24}),
-    [](const auto &info) {
-        return "e" + std::to_string(info.param.elems) + "t" +
-               std::to_string(info.param.tasklets);
+    [](const auto &tpi) {
+        return "e" + std::to_string(tpi.param.elems) + "t" +
+               std::to_string(tpi.param.tasklets);
     });
 
 TEST_P(VecKernelShapes, AddKernelMatchesBarrett128)

@@ -269,5 +269,77 @@ TEST(Montgomery, RejectsBadModuli)
     EXPECT_DEATH(MontgomeryReducer(1ULL << 63), "odd");
 }
 
+// ----- boundary values: q near 2^k, max operands, width limits -----
+
+TEST(Barrett, QNearPowerOfTwoBoundaries)
+{
+    // Moduli one step below a power of two maximise the Barrett
+    // remainder bound (2^(2k) mod q is largest there). Check the
+    // reduction against exact division at the extreme operands.
+    const U32 moduli[] = {
+        U32(134215681ULL),        // 2^27 - 2047 (the paper's q)
+        U32((1ULL << 31) - 1),    // Mersenne prime, k = 31
+        U32((1ULL << 27) + 1ULL), // just above a power of two
+    };
+    for (const auto &q : moduli) {
+        const BarrettReducer<1> red(q);
+        const auto qw = q.convert<2>();
+        const U64 xs[] = {
+            U64(),                              // zero
+            qw - U64(1ULL),                     // q - 1
+            qw,                                 // exactly q
+            qw + U64(1ULL),                     // q + 1
+            (qw - U64(1ULL)).mulKaratsuba(qw - U64(1ULL)).convert<2>(),
+            U64::oneShl(2 * q.bitLength()) - U64(1ULL), // max input
+        };
+        for (const auto &x : xs)
+            EXPECT_EQ(red.reduce(x), divmod(x, qw).second.convert<1>())
+                << "q=" << q.toDecimalString()
+                << " x=" << x.toDecimalString();
+    }
+}
+
+TEST(Barrett, MaxInputAtEveryWidth)
+{
+    // x = 2^(2k) - 1, the largest input reduce() admits, for each of
+    // the paper's moduli widths.
+    const auto check = [](const auto &params) {
+        constexpr std::size_t N = decltype(params.q)::numLimbs;
+        const BarrettReducer<N> red(params.q);
+        const auto qw = params.q.template convert<2 * N>();
+        const auto x =
+            WideInt<2 * N>::oneShl(2 * params.q.bitLength()) -
+            WideInt<2 * N>(1ULL);
+        EXPECT_EQ(red.reduce(x).template convert<2 * N>(),
+                  divmod(x, qw).second);
+    };
+    check(standardParams<1>());
+    check(standardParams<2>());
+    check(standardParams<4>());
+}
+
+TEST(Barrett, RejectsModulusTooWideForContext)
+{
+    // k = 32 needs 2k+1 = 65 bits of double-width headroom; a 1-limb
+    // reducer only has 64. The constructor must refuse rather than
+    // silently truncate mu.
+    EXPECT_DEATH(BarrettReducer<1>(U32(0xFFFFFFFFULL)), "too wide");
+}
+
+TEST(Montgomery, WidthBoundaryModuli)
+{
+    // Largest odd modulus below the 2^62 bound and the smallest legal
+    // one; REDC correctness at the extremes of the admitted range.
+    for (const std::uint64_t p :
+         {(1ULL << 62) - 1, (1ULL << 62) - 57, 3ULL}) {
+        const MontgomeryReducer mont(p);
+        EXPECT_EQ(mont.mulMod(p - 1, p - 1), mulMod64(p - 1, p - 1, p))
+            << p;
+        EXPECT_EQ(mont.mulMod(p - 1, 1), p - 1) << p;
+        EXPECT_EQ(mont.fromMont(mont.toMont(p - 1)), p - 1) << p;
+    }
+    EXPECT_DEATH(MontgomeryReducer((1ULL << 62) + 1), "too wide");
+}
+
 } // namespace
 } // namespace pimhe

@@ -77,7 +77,7 @@ TEST(DpuModMul30, MatchesMulMod64)
     TaskletStats stats;
     TaskletCtx ctx(0, 1, cfg, wram, mram, stats);
 
-    const std::uint32_t p = findNttPrimes(30, 64, 1)[0];
+    const auto p = static_cast<std::uint32_t>(findNttPrimes(30, 64, 1)[0]);
     const std::uint32_t mu = static_cast<std::uint32_t>(
         (static_cast<unsigned __int128>(1) << 60) / p);
     Rng rng(kSeed);
@@ -102,7 +102,7 @@ TEST(DpuModAddSub30, MatchReference)
     Mram mram(cfg.mramBytes);
     TaskletStats stats;
     TaskletCtx ctx(0, 1, cfg, wram, mram, stats);
-    const std::uint32_t p = findNttPrimes(30, 64, 1)[0];
+    const auto p = static_cast<std::uint32_t>(findNttPrimes(30, 64, 1)[0]);
     Rng rng(kSeed + 1);
     for (int it = 0; it < 300; ++it) {
         const std::uint32_t a =
@@ -130,10 +130,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(NttShape{16, 1, 1}, NttShape{16, 5, 3},
                       NttShape{64, 4, 4}, NttShape{128, 3, 12},
                       NttShape{256, 2, 2}, NttShape{64, 13, 11}),
-    [](const auto &info) {
-        return "n" + std::to_string(info.param.n) + "c" +
-               std::to_string(info.param.count) + "t" +
-               std::to_string(info.param.tasklets);
+    [](const auto &tpi) {
+        return "n" + std::to_string(tpi.param.n) + "c" +
+               std::to_string(tpi.param.count) + "t" +
+               std::to_string(tpi.param.tasklets);
     });
 
 TEST_P(NttKernelShapes, MatchesHostNttEngine)

@@ -21,6 +21,9 @@ tinySystem(std::size_t dpus)
 {
     pim::SystemConfig cfg;
     cfg.numDpus = dpus;
+    // Tests run with the static pre-launch verifier armed: a layout
+    // regression fails here before it can corrupt a simulated run.
+    cfg.verifyBeforeLaunch = true;
     return cfg;
 }
 

@@ -62,6 +62,7 @@ TEST(PaperShapes, TaskletScalingSaturatesAtDispatchInterval)
     pim::SystemConfig cfg;
     cfg.numDpus = 1;
     cfg.hostThreads = 1;
+    cfg.verifyBeforeLaunch = true;
 
     std::vector<double> cycles;
     for (const unsigned t : {1u, 2u, 4u, 8u, 11u, 16u, 24u}) {
@@ -87,6 +88,7 @@ TEST(PaperShapes, ModelledTimeInvariantToHostThreads)
         pim::SystemConfig cfg;
         cfg.numDpus = 6;
         cfg.hostThreads = threads;
+        cfg.verifyBeforeLaunch = true;
         PimHeSystem<2> pimsys(h.ctx, cfg, 6, 12);
         std::vector<Ciphertext<2>> as, bs;
         for (int i = 0; i < 4; ++i) {

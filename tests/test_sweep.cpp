@@ -34,10 +34,10 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepShape{2, 12, 2}, SweepShape{3, 8, 7},
                       SweepShape{5, 16, 4}, SweepShape{7, 24, 9},
                       SweepShape{8, 2, 8}, SweepShape{13, 12, 5}),
-    [](const auto &info) {
-        return "d" + std::to_string(info.param.dpus) + "t" +
-               std::to_string(info.param.tasklets) + "c" +
-               std::to_string(info.param.cts);
+    [](const auto &tpi) {
+        return "d" + std::to_string(tpi.param.dpus) + "t" +
+               std::to_string(tpi.param.tasklets) + "c" +
+               std::to_string(tpi.param.cts);
     });
 
 template <std::size_t N>
@@ -47,6 +47,7 @@ sweepOnce(const SweepShape &shape)
     BfvHarness<N> h(16, kSeed + shape.dpus * 131 + shape.tasklets);
     pim::SystemConfig cfg;
     cfg.numDpus = shape.dpus;
+    cfg.verifyBeforeLaunch = true;
     PimHeSystem<N> server(h.ctx, cfg, shape.dpus, shape.tasklets);
 
     std::vector<Ciphertext<N>> as, bs;

@@ -282,6 +282,105 @@ TEST(WideInt, HalvesRecombine)
     EXPECT_EQ(re, v);
 }
 
+// ----- boundary values: max-limb operands and carry-chain edges -----
+
+TEST(WideInt, CarryChainRipplesAcrossAllLimbs)
+{
+    // maxValue + 1 wraps to zero with a carry-out of exactly 1: the
+    // addc chain must propagate through every limb.
+    U256 v = U256::maxValue();
+    EXPECT_EQ(v.addInPlace(U256(1ULL)), 1u);
+    EXPECT_TRUE(v.isZero());
+
+    // 0 - 1 borrows through every limb back to maxValue.
+    U256 z;
+    EXPECT_EQ(z.subInPlace(U256(1ULL)), 1u);
+    EXPECT_EQ(z, U256::maxValue());
+
+    // A carry injected at the bottom ripples across a run of
+    // saturated limbs but stops at the first hole.
+    U128 r;
+    r.setLimb(0, 0xFFFFFFFFu);
+    r.setLimb(1, 0xFFFFFFFFu);
+    r.setLimb(2, 0x7FFFFFFFu);
+    EXPECT_EQ(r.addInPlace(U128(1ULL)), 0u);
+    EXPECT_EQ(r.limb(0), 0u);
+    EXPECT_EQ(r.limb(1), 0u);
+    EXPECT_EQ(r.limb(2), 0x80000000u);
+    EXPECT_EQ(r.limb(3), 0u);
+}
+
+TEST(WideInt, MaxLimbOperandProducts)
+{
+    // (2^128 - 1)^2 = 2^256 - 2^129 + 1, exercising every partial
+    // product and the full carry cascade of the schoolbook path.
+    const auto sq = U128::maxValue().mulFull(U128::maxValue());
+    const U256 expect =
+        U256::maxValue() - U256::oneShl(129) + U256(2ULL);
+    EXPECT_EQ(sq, expect);
+
+    // Karatsuba must agree with the schoolbook product on saturated
+    // and near-saturated operands (the cross-term fix-up carries).
+    for (const std::uint32_t delta : {0u, 1u, 2u}) {
+        const U128 a = U128::maxValue() - U128(delta);
+        const U128 b = U128::maxValue() - U128(2u * delta);
+        EXPECT_EQ(a.mulKaratsuba(b), a.mulFull(b)) << "delta " << delta;
+        const U64 a2 = U64::maxValue() - U64(delta);
+        EXPECT_EQ(a2.mulKaratsuba(a2), a2.mulFull(a2))
+            << "delta " << delta;
+    }
+
+    // Alternating saturated/empty limbs hit the z1 sign/carry fix-ups.
+    U128 alt;
+    alt.setLimb(0, 0xFFFFFFFFu);
+    alt.setLimb(2, 0xFFFFFFFFu);
+    EXPECT_EQ(alt.mulKaratsuba(U128::maxValue()),
+              alt.mulFull(U128::maxValue()));
+}
+
+TEST(WideInt, ShiftBoundaries)
+{
+    const U256 v = U256::maxValue();
+    EXPECT_EQ(v.shl(0), v);
+    EXPECT_EQ(v.shr(0), v);
+    EXPECT_EQ(v.shr(255), U256(1ULL));
+    EXPECT_EQ(v.shl(255), U256::oneShl(255));
+    // Cross-limb shifts by one bit either side of a limb boundary.
+    EXPECT_EQ(U256::oneShl(31).shl(1), U256::oneShl(32));
+    EXPECT_EQ(U256::oneShl(32).shr(1), U256::oneShl(31));
+    EXPECT_EQ(U256::oneShl(64).shr(33), U256::oneShl(31));
+}
+
+TEST(WideInt, DivmodBoundaryOperands)
+{
+    // Equal operands, unit divisor, and max dividend / small divisor
+    // all satisfy u == q*v + r with r < v.
+    const U256 max = U256::maxValue();
+    {
+        const auto [q, r] = divmod(max, max);
+        EXPECT_EQ(q, U256(1ULL));
+        EXPECT_TRUE(r.isZero());
+    }
+    {
+        const auto [q, r] = divmod(max, U256(1ULL));
+        EXPECT_EQ(q, max);
+        EXPECT_TRUE(r.isZero());
+    }
+    // Divisor with a saturated high limb forces the Knuth D quotient
+    // estimate down the hard path; verify the division identity.
+    Rng rng(kSeed + 17);
+    for (int it = 0; it < 50; ++it) {
+        U256 u = randomWide<8>(rng);
+        U256 v = randomWide<8>(rng);
+        v.setLimb(7, 0);
+        v.setLimb(6, 0xFFFFFFFFu);
+        const auto [q, r] = divmod(u, v);
+        EXPECT_TRUE(r < v);
+        const auto qv = q.mulFull(v).convert<8>();
+        EXPECT_EQ(qv + r, u);
+    }
+}
+
 TEST(WideInt, DivmodSmallMatchesDivmod)
 {
     Rng rng(kSeed + 3);

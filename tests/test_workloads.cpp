@@ -62,6 +62,7 @@ TEST(MeanWorkload, PimReductionPathMatchesHost)
     const auto cts = mean.encryptUsers(vals);
 
     pim::SystemConfig cfg;
+    cfg.verifyBeforeLaunch = true;
     cfg.numDpus = 3;
     PimHeSystem<4> pimsys(h.ctx, cfg, 3, 12);
     const auto pim_sum = pimsys.reduceCiphertexts(cts);
@@ -100,6 +101,7 @@ TEST(VarianceWorkload, ThroughPimEngine)
 {
     BfvHarness<4> h(16);
     pim::SystemConfig cfg;
+    cfg.verifyBeforeLaunch = true;
     cfg.numDpus = 1;
     h.ctx.setConvolver(std::make_unique<PimConvolver<4>>(
         h.ctx.ring(), cfg, 12));

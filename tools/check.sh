@@ -9,8 +9,13 @@
 #   4. a ThreadSanitizer build running the concurrency-sensitive
 #      suites (labels `stress` and `differential`) with
 #      PIMHE_HOST_THREADS=16 to exercise the host-parallel engine,
-#   5. clang-format --dry-run -Werror over src/pim/ (if installed),
-#   6. a clang-tidy build (if installed).
+#   5. the pim_verify static sweep: the kernel x parameter grid must
+#      verify clean, and an injected violation must exit nonzero,
+#   6. clang-format --dry-run -Werror over src/pim/ (if installed),
+#   7. a clang-tidy build (if installed).
+#
+# All compiled legs build with -DPIMHE_WERROR=ON (warnings are errors)
+# and export compile_commands.json for clang tooling.
 #
 # Sanitizer and clang steps degrade gracefully when the toolchain
 # lacks the binaries, so the script is safe to run anywhere; the
@@ -28,13 +33,34 @@ JOBS=${JOBS:-$(nproc)}
 QUICK=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 
+# Every compiled leg is warning-clean and exports compile_commands.json.
+COMMON_FLAGS=(-DPIMHE_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)
+
+# Static pre-launch verification: the shipped kernel x parameter grid
+# must verify clean (exit 0), and the injected-violation path must
+# stay live (exit nonzero), so the gate notices if either direction
+# of the verifier rots.
+run_pim_verify() {
+    local dir=$1
+    local bin="${dir}/tools-build/pim_verify"
+    echo "=== [${dir}] pim_verify sweep ==="
+    "${bin}"
+    echo "=== [${dir}] pim_verify --inject all (must fail) ==="
+    if "${bin}" --inject all > /dev/null; then
+        echo "pim_verify did not flag injected violations" >&2
+        return 1
+    fi
+    echo "injected violations correctly rejected"
+}
+
 run_config() {
     local name=$1
     shift
     local dir="build-check-${name}"
     mkdir -p "${dir}"
     echo "=== [${name}] cmake configure ==="
-    cmake -B "${dir}" -S . "$@" > "${dir}/cmake.log" 2>&1 || {
+    cmake -B "${dir}" -S . "${COMMON_FLAGS[@]}" "$@" \
+        > "${dir}/cmake.log" 2>&1 || {
         cat "${dir}/cmake.log"
         return 1
     }
@@ -49,7 +75,8 @@ if [[ "${QUICK}" == "1" ]]; then
     dir="build-check-plain"
     mkdir -p "${dir}"
     echo "=== [plain] cmake configure ==="
-    cmake -B "${dir}" -S . > "${dir}/cmake.log" 2>&1 || {
+    cmake -B "${dir}" -S . "${COMMON_FLAGS[@]}" \
+        > "${dir}/cmake.log" 2>&1 || {
         cat "${dir}/cmake.log"
         exit 1
     }
@@ -57,8 +84,10 @@ if [[ "${QUICK}" == "1" ]]; then
     cmake --build "${dir}" -j "${JOBS}"
     echo "=== [plain] ctest -L unit ==="
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L unit
+    run_pim_verify "${dir}"
 else
     run_config plain
+    run_pim_verify build-check-plain
     run_config asan -DPIMHE_SANITIZE=address
     run_config ubsan -DPIMHE_SANITIZE=undefined
 

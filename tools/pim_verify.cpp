@@ -1,0 +1,254 @@
+/**
+ * @file
+ * pim_verify: sweep the kernel x parameter grid through the static
+ * launch verifier and the interval analyzer, exit nonzero on any
+ * violation.
+ *
+ * The grid covers every launch plan the library constructs from the
+ * paper's parameter sets: the elementwise add/mul kernels across
+ * tasklet counts, the negacyclic convolution kernel at its WRAM-fit
+ * degree envelope, the NTT product kernel for generated NTT-friendly
+ * primes, and the arithmetic obligations of every registered BFV
+ * modulus plus the host-side Barrett/Montgomery reducers.
+ *
+ * Usage:
+ *   pim_verify [--verbose] [--inject KIND]
+ *
+ * --inject seeds one deliberately broken plan (KIND: wram, dma, mram,
+ * tasklets, staging, params, or all) so CI can assert the tool's
+ * nonzero exit path stays live.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "analysis/interval.h"
+#include "analysis/verifier.h"
+#include "bfv/params.h"
+#include "common/cli.h"
+#include "modular/mod64.h"
+#include "pim/config.h"
+#include "pimhe/kernels.h"
+#include "pimhe/ntt_kernel.h"
+
+namespace {
+
+using namespace pimhe;
+
+struct Outcome
+{
+    int checked = 0;
+    int failed = 0;
+};
+
+void
+takeVerify(const analysis::VerifyReport &report, bool verbose,
+           Outcome &out)
+{
+    ++out.checked;
+    if (!report.ok()) {
+        ++out.failed;
+        std::cout << "FAIL " << report.summary();
+    } else if (verbose) {
+        std::cout << "ok   " << report.summary();
+    } else {
+        std::cout << "ok   launch plan '" << report.kernel << "' @ "
+                  << report.tasklets << " tasklets\n";
+    }
+}
+
+void
+takeInterval(const analysis::IntervalReport &report, bool verbose,
+             Outcome &out)
+{
+    ++out.checked;
+    if (!report.ok()) {
+        ++out.failed;
+        std::cout << "FAIL " << report.summary();
+    } else if (verbose) {
+        std::cout << "ok   " << report.summary()
+                  << report.trace.describe();
+    } else {
+        std::cout << "ok   " << report.summary();
+    }
+}
+
+/** Verify one level's elementwise and convolution launch plans plus
+ *  its modulus arithmetic. */
+template <std::size_t N>
+void
+sweepLevel(const pim::DpuConfig &cfg, bool verbose, Outcome &out)
+{
+    const auto params = standardParams<N>();
+    const std::string label = levelName(
+        N == 1 ? SecurityLevel::Bits27
+               : N == 2 ? SecurityLevel::Bits54
+                        : SecurityLevel::Bits109);
+
+    takeInterval(analysis::analyzeParamsSet(
+                     analysis::specOfParams<N>(params, label)),
+                 verbose, out);
+
+    const analysis::LaunchVerifier verifier(cfg);
+
+    // Elementwise kernels, orchestrator layout: three arrays of the
+    // full ring on one DPU, tasklet counts around the paper's sweep.
+    pimhe_kernels::VecKernelParams kp;
+    const std::uint64_t arr = (params.n * N * 4 + 7) / 8 * 8;
+    kp.mramA = 0;
+    kp.mramB = arr;
+    kp.mramOut = 2 * arr;
+    kp.elems = static_cast<std::uint32_t>(params.n);
+    kp.limbs = static_cast<std::uint32_t>(N);
+    for (const unsigned tasklets : {1u, 8u, 11u, 12u, 16u, 24u}) {
+        for (const bool multiply : {false, true})
+            takeVerify(
+                verifier.verify(pimhe_kernels::vecKernelFootprint(
+                                    kp, cfg, tasklets, multiply),
+                                tasklets),
+                verbose, out);
+    }
+
+    // Convolution kernel: the largest power-of-two degree whose WRAM
+    // layout supports at least one tasklet (the envelope the shipped
+    // reduced-degree tests stay within).
+    for (std::uint32_t n = static_cast<std::uint32_t>(params.n);
+         n >= 4; n /= 2) {
+        pimhe_kernels::ConvKernelParams cp;
+        cp.n = n;
+        cp.limbs = static_cast<std::uint32_t>(N);
+        cp.mramA = 0;
+        cp.mramB = static_cast<std::uint64_t>(n) * N * 4;
+        cp.mramOut = 2 * cp.mramB;
+        const auto fp = pimhe_kernels::convKernelFootprint(cp, cfg);
+        if (fp.maxTasklets < 1)
+            continue;
+        std::cout << "     conv envelope at " << label << ": n <= "
+                  << n << " (up to " << fp.maxTasklets
+                  << " tasklets)\n";
+        takeVerify(
+            verifier.verify(fp, std::min(12u, fp.maxTasklets)), verbose,
+            out);
+        break;
+    }
+}
+
+/** Verify the NTT kernel and its primes at the lengths the NTT
+ *  ablation sweeps. */
+void
+sweepNtt(const pim::DpuConfig &cfg, bool verbose, Outcome &out)
+{
+    const analysis::LaunchVerifier verifier(cfg);
+    for (const std::uint32_t n : {256u, 1024u, 2048u}) {
+        const auto primes = findNttPrimes(30, 2ULL * n, 1);
+        if (primes.empty()) {
+            std::cout << "FAIL no 30-bit NTT prime for n=" << n
+                      << "\n";
+            ++out.checked;
+            ++out.failed;
+            continue;
+        }
+        const auto p = static_cast<std::uint32_t>(primes.front());
+        takeInterval(analysis::analyzeNttPrime(p, n), verbose, out);
+        takeInterval(analysis::analyzeMontgomeryPrime(p), verbose,
+                     out);
+
+        const auto nkp =
+            pimhe_kernels::makeNttParams(p, n, /*count=*/4);
+        const auto fp = pimhe_kernels::nttKernelFootprint(nkp, cfg);
+        if (fp.maxTasklets < 1) {
+            std::cout << "FAIL ntt-mul not launchable at n=" << n
+                      << "\n";
+            ++out.checked;
+            ++out.failed;
+            continue;
+        }
+        takeVerify(verifier.verify(fp, 1), verbose, out);
+        takeVerify(verifier.verify(fp, fp.maxTasklets), verbose, out);
+    }
+}
+
+/** Seed one deliberately broken plan so the nonzero exit path is
+ *  testable end to end. */
+void
+inject(const std::string &kind, const pim::DpuConfig &cfg,
+       bool verbose, Outcome &out)
+{
+    const analysis::LaunchVerifier verifier(cfg);
+    const bool all = kind == "all";
+
+    if (all || kind == "wram") {
+        analysis::KernelFootprint fp;
+        fp.kernel = "injected-wram";
+        fp.maxTasklets = cfg.maxTasklets;
+        fp.wramBytesPerTasklet = 8192; // 12 x (8K + stack) > 64 KB
+        takeVerify(verifier.verify(fp, 12), verbose, out);
+    }
+    if (all || kind == "dma") {
+        analysis::KernelFootprint fp;
+        fp.kernel = "injected-dma";
+        fp.maxTasklets = cfg.maxTasklets;
+        fp.dmaPatterns = {{"odd transfer", 4, 4, 4, 8}};
+        takeVerify(verifier.verify(fp, 1), verbose, out);
+    }
+    if (all || kind == "mram") {
+        analysis::KernelFootprint fp;
+        fp.kernel = "injected-mram";
+        fp.maxTasklets = cfg.maxTasklets;
+        fp.mramRegions = {
+            {"operand", 0, 4096, analysis::Access::Read},
+            {"result", 2048, 4096, analysis::Access::Write},
+        };
+        takeVerify(verifier.verify(fp, 1), verbose, out);
+    }
+    if (all || kind == "tasklets") {
+        analysis::KernelFootprint fp;
+        fp.kernel = "injected-tasklets";
+        fp.maxTasklets = 8;
+        takeVerify(verifier.verify(fp, 16), verbose, out);
+    }
+    if (all || kind == "staging") {
+        analysis::KernelFootprint fp;
+        fp.kernel = "injected-staging";
+        fp.maxTasklets = cfg.maxTasklets;
+        fp.mramRegions = {{"oversized operand", 0,
+                           static_cast<std::uint64_t>(cfg.mramBytes) + 8,
+                           analysis::Access::Read}};
+        takeVerify(verifier.verify(fp, 1), verbose, out);
+    }
+    if (all || kind == "params") {
+        // 2^54 - 3*2^31: pseudo-Mersenne c needs 33 bits.
+        analysis::ParamsSpec spec;
+        spec.name = "injected-params";
+        spec.limbs = 2;
+        spec.q = analysis::AbsVal::oneShl(54) -
+                 analysis::AbsVal(3ULL << 31);
+        spec.n = 2048;
+        takeInterval(analysis::analyzeParamsSet(spec), verbose, out);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"verbose", "inject"});
+    const bool verbose = args.getBool("verbose", false);
+    const std::string injected = args.getString("inject", "");
+
+    const pim::DpuConfig cfg; // the paper's gen1 DPU
+    Outcome out;
+
+    sweepLevel<1>(cfg, verbose, out);
+    sweepLevel<2>(cfg, verbose, out);
+    sweepLevel<4>(cfg, verbose, out);
+    sweepNtt(cfg, verbose, out);
+    if (!injected.empty())
+        inject(injected, cfg, verbose, out);
+
+    std::cout << out.checked << " plans checked, " << out.failed
+              << " violation(s)\n";
+    return out.failed == 0 ? 0 : 1;
+}
