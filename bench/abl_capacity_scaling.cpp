@@ -17,9 +17,10 @@ using perf::OpKind;
 int
 main()
 {
-    printHeader("S2", "memory-capacity-proportional scaling",
-                "PIM time ~constant across user counts; CPU scales "
-                "linearly with users");
+    Report report("abl_capacity_scaling", "S2",
+                  "memory-capacity-proportional scaling",
+                  "PIM time ~constant across user counts; CPU scales "
+                  "linearly with users");
 
     baselines::PlatformSuite suite;
 
@@ -28,6 +29,7 @@ main()
     Table t1({"users", "PIM (ms)", "CPU (ms)", "PIM growth",
               "CPU growth"});
     double pim_base = 0, cpu_base = 0, pim_flat_ratio = 0;
+    std::vector<double> pim_ms, cpu_ms;
     for (const std::size_t users : {320ul, 640ul, 1280ul, 2560ul}) {
         workloads::WorkloadShape s;
         s.users = users;
@@ -42,8 +44,12 @@ main()
                    Table::fmt(cpu, 2),
                    Table::fmtSpeedup(pim / pim_base),
                    Table::fmtSpeedup(cpu / cpu_base)});
+        pim_ms.push_back(pim);
+        cpu_ms.push_back(cpu);
     }
-    t1.print(std::cout);
+    report.table(t1);
+    report.series("pim_ms", pim_ms);
+    report.series("cpu_ms", cpu_ms);
 
     std::cout << "\n-- scaling DPUs with data (vector add, per-DPU "
                  "work fixed) --\n";
@@ -62,12 +68,12 @@ main()
         t2.addRow({std::to_string(dpus), std::to_string(elems),
                    Table::fmt(ms, 3)});
     }
-    t2.print(std::cout);
+    report.table(t2);
 
     std::cout << "\nband checks:\n";
-    printBandCheck("PIM growth 320 -> 2560 users (flat ~1x)",
-                   pim_flat_ratio, 0.5, 2.5);
-    printBandCheck("PIM time with DPUs scaled 4x alongside data",
-                   last / first, 0.95, 1.05);
-    return 0;
+    report.bandCheck("PIM growth 320 -> 2560 users (flat ~1x)",
+                     pim_flat_ratio, 0.5, 2.5);
+    report.bandCheck("PIM time with DPUs scaled 4x alongside data",
+                     last / first, 0.95, 1.05);
+    return report.write();
 }

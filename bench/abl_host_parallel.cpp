@@ -61,9 +61,10 @@ runOnce(std::size_t host_threads, std::size_t dpus, unsigned tasklets,
 int
 main()
 {
-    printHeader("S3", "host-parallel execution engine",
-                "simulator wall-clock scales with host threads; "
-                "modelled cycles bit-identical at every count");
+    Report report("abl_host_parallel", "S3",
+                  "host-parallel execution engine",
+                  "simulator wall-clock scales with host threads; "
+                  "modelled cycles bit-identical at every count");
 
     const std::size_t dpus = 64;
     const unsigned tasklets = 12;
@@ -81,6 +82,7 @@ main()
 
     bool all_identical = true;
     double best = 1.0;
+    std::vector<double> wall_ms{base.hostWallMs};
     for (const std::size_t threads : {2ul, 4ul, 8ul}) {
         const auto run = runOnce(threads, dpus, tasklets, limbs, per_dpu);
         const bool same = run.maxCycles == base.maxCycles &&
@@ -92,17 +94,20 @@ main()
         best = std::max(best, sp);
         t.addRow({std::to_string(threads), Table::fmt(run.hostWallMs, 2),
                   Table::fmtSpeedup(sp), same ? "yes" : "NO"});
+        wall_ms.push_back(run.hostWallMs);
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("host_wall_ms", wall_ms);
 
     std::cout << "\nband checks:\n";
-    printBandCheck("modelled cycles identical at all thread counts",
-                   all_identical ? 1.0 : 0.0, 1.0, 1.0);
+    report.bandCheck("modelled cycles identical at all thread counts",
+                     all_identical ? 1.0 : 0.0, 1.0, 1.0);
     if (hw >= 4)
-        printBandCheck("best wall-clock speedup (>=4 host threads)",
-                       best, 2.0, 64.0);
+        report.bandCheck("best wall-clock speedup (>=4 host threads)",
+                         best, 2.0, 64.0);
     else
         std::cout << "  [SKIP] wall-clock speedup band (host has "
                   << hw << " thread(s); need >= 4 to observe >= 2x)\n";
-    return all_identical ? 0 : 1;
+    const int rc = report.write();
+    return all_identical ? rc : 1;
 }

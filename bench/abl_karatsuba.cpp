@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "bench_util.h"
 #include "bigint/wide_int.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -49,11 +50,14 @@ dpuInstrCount(bool karatsuba)
     return stats.instructions;
 }
 
-void
-printDpuTable()
+int
+writeDpuReport()
 {
-    std::cout << "=== A1: Karatsuba vs schoolbook wide multiply "
-                 "(DPU instruction counts) ===\n";
+    bench::Report report("abl_karatsuba", "A1",
+                         "Karatsuba vs schoolbook wide multiply "
+                         "(DPU instruction counts)",
+                         "Karatsuba requires fewer operations at 64- "
+                         "and 128-bit widths");
     Table t({"width", "schoolbook instr", "karatsuba instr",
              "karatsuba saving"});
     const std::uint64_t s1 = dpuInstrCount<1>(false);
@@ -68,8 +72,16 @@ printDpuTable()
               Table::fmtSpeedup(double(s2) / double(k2))});
     t.addRow({"128-bit", std::to_string(s4), std::to_string(k4),
               Table::fmtSpeedup(double(s4) / double(k4))});
-    t.print(std::cout);
+    report.table(t);
+    report.series("schoolbook_instr",
+                  {double(s1), double(s2), double(s4)});
+    report.series("karatsuba_instr",
+                  {double(k1), double(k2), double(k4)});
+    report.bandCheck("karatsuba saving at 128-bit",
+                     double(s4) / double(k4), 1.0, 10.0);
+    const int rc = report.write();
     std::cout << "\n";
+    return rc;
 }
 
 template <std::size_t L>
@@ -116,8 +128,8 @@ BENCHMARK(BM_MulKaratsuba<8>);
 int
 main(int argc, char **argv)
 {
-    printDpuTable();
+    const int rc = writeDpuReport();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return rc;
 }

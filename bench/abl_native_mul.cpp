@@ -16,9 +16,10 @@ using perf::OpKind;
 int
 main()
 {
-    printHeader("A2", "native 32-bit multiplier ablation",
-                "hypothetical gen2 DPUs close the multiplication gap "
-                "to GPU and beat the CPU baselines");
+    Report report("abl_native_mul", "A2",
+                  "native 32-bit multiplier ablation",
+                  "hypothetical gen2 DPUs close the multiplication "
+                  "gap to GPU and beat the CPU baselines");
 
     pim::SystemConfig gen2 = pim::paperSystem();
     gen2.dpu.nativeMul32 = true;
@@ -32,6 +33,7 @@ main()
              "GPU (ms)", "gen2 speedup", "gen2 vs SEAL",
              "gen2 vs GPU"});
     double gen2_beats_seal_128 = 0;
+    std::vector<double> gen1_ms, gen2_ms;
     for (const std::size_t limbs : {1ul, 2ul, 4ul}) {
         const std::size_t n = degreeFor(limbs);
         const std::size_t elems = ctElems(cts, n);
@@ -56,11 +58,15 @@ main()
                   Table::fmtSpeedup(gp / g2)});
         if (limbs == 4)
             gen2_beats_seal_128 = se / g2;
+        gen1_ms.push_back(g1);
+        gen2_ms.push_back(g2);
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("gen1_pim_ms", gen1_ms);
+    report.series("gen2_pim_ms", gen2_ms);
 
     std::cout << "\nband checks:\n";
-    printBandCheck("gen2 PIM faster than CPU-SEAL at 128-bit",
-                   gen2_beats_seal_128, 1.0, 1e6);
-    return 0;
+    report.bandCheck("gen2 PIM faster than CPU-SEAL at 128-bit",
+                     gen2_beats_seal_128, 1.0, 1e6);
+    return report.write();
 }

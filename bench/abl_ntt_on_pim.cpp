@@ -62,9 +62,10 @@ nttCyclesAt(std::size_t n_target, bool native_mul)
 int
 main()
 {
-    printHeader("A3", "NTT on PIM (the paper's future work)",
-                "expected: NTT makes PIM multiplication competitive "
-                "even before native multipliers");
+    Report report("abl_ntt_on_pim", "A3",
+                  "NTT on PIM (the paper's future work)",
+                  "expected: NTT makes PIM multiplication competitive "
+                  "even before native multipliers");
 
     const std::size_t n = 4096;
     const std::size_t residues = 8; // 30-bit primes covering 2nq^2
@@ -95,12 +96,14 @@ main()
     t.addRow({"CPU-SEAL (one core, for scale)",
               Table::fmt(seal_ms, 1),
               Table::fmtSpeedup(school / seal_ms)});
-    t.print(std::cout);
+    report.table(t);
+    report.series("engine_ms",
+                  {school, ntt_gen1, ntt_gen2, seal_ms});
 
     std::cout << "\nband checks:\n";
-    printBandCheck("NTT speedup over schoolbook on gen1",
-                   school / ntt_gen1, 5, 10000);
-    printBandCheck("native-mul NTT speedup over gen1 NTT",
-                   ntt_gen1 / ntt_gen2, 2, 20);
-    return 0;
+    report.bandCheck("NTT speedup over schoolbook on gen1",
+                     school / ntt_gen1, 5, 10000);
+    report.bandCheck("native-mul NTT speedup over gen1 NTT",
+                     ntt_gen1 / ntt_gen2, 2, 20);
+    return report.write();
 }

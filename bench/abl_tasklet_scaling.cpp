@@ -15,8 +15,9 @@ using perf::OpKind;
 int
 main()
 {
-    printHeader("S1", "tasklet scaling (per-DPU, 128-bit kernels)",
-                "throughput saturates at 11 or more tasklets");
+    Report report("abl_tasklet_scaling", "S1",
+                  "tasklet scaling (per-DPU, 128-bit kernels)",
+                  "throughput saturates at 11 or more tasklets");
 
     pim::SystemConfig one;
     one.numDpus = 1;
@@ -26,6 +27,7 @@ main()
              "mul speedup"});
     double add_base = 0, mul_base = 0;
     double add_at_11 = 0, add_at_24 = 0;
+    std::vector<double> add_cycles, mul_cycles;
     for (const unsigned tasklets : {1u, 2u, 4u, 8u, 11u, 12u, 16u,
                                     24u}) {
         PimCostModel model(one, tasklets);
@@ -45,13 +47,17 @@ main()
                   Table::fmt(mul, 0),
                   Table::fmtSpeedup(add_base / add),
                   Table::fmtSpeedup(mul_base / mul)});
+        add_cycles.push_back(add);
+        mul_cycles.push_back(mul);
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("add_cycles", add_cycles);
+    report.series("mul_cycles", mul_cycles);
 
     std::cout << "\nband checks:\n";
     // Smaller WRAM chunks at 24 tasklets add a few extra DMA
     // setups, so "flat" means within ~15%.
-    printBandCheck("add cycles at 24 vs 11 tasklets (flat ~1.0x)",
-                   add_at_11 / add_at_24, 0.85, 1.15);
-    return 0;
+    report.bandCheck("add cycles at 24 vs 11 tasklets (flat ~1.0x)",
+                     add_at_11 / add_at_24, 0.85, 1.15);
+    return report.write();
 }

@@ -6,16 +6,30 @@
  * paper figure plots, (2) the speedup ratios the paper quotes, and
  * (3) a PASS/CHECK verdict against the paper's reported band so the
  * reproduction status is visible at a glance (see EXPERIMENTS.md).
+ *
+ * Alongside the console output, every bench writes a machine-readable
+ * BENCH_<name>.json report ("pimhe-bench/v1" schema: tables, value
+ * series with p50/p95, modelled breakdowns and band-check verdicts)
+ * through the Report helper below. The output directory defaults to
+ * the working directory and can be redirected with PIMHE_BENCH_OUT.
  */
 
 #ifndef PIMHE_BENCH_BENCH_UTIL_H
 #define PIMHE_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/engines.h"
+#include "common/stats.h"
 #include "common/table.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "perf/platform.h"
 #include "workloads/timing.h"
 
 namespace pimhe {
@@ -55,6 +69,186 @@ degreeFor(std::size_t limbs)
 {
     return limbs == 1 ? 1024 : limbs == 2 ? 2048 : 4096;
 }
+
+/**
+ * Console + JSON bench reporter.
+ *
+ * Prints exactly what the pre-existing helpers printed (header,
+ * tables, band checks) while recording everything for a
+ * "pimhe-bench/v1" JSON report. A bench builds one Report up and
+ * finishes with `return report.write();`.
+ */
+class Report
+{
+  public:
+    /**
+     * @param name        File stem: writes BENCH_<name>.json.
+     * @param exp_id      Experiment id ("F1a", "T2", ...).
+     * @param title       Human-readable experiment title.
+     * @param paper_band  The band the paper reports (header line).
+     * @param repetitions Measurement repetitions per data point.
+     * @param warmup      Warmup runs excluded from the series.
+     */
+    Report(std::string name, std::string exp_id, std::string title,
+           std::string paper_band, unsigned repetitions = 1,
+           unsigned warmup = 0)
+        : name_(std::move(name)), exp_(std::move(exp_id)),
+          title_(std::move(title)), repetitions_(repetitions),
+          warmup_(warmup)
+    {
+        printHeader(exp_, title_, paper_band);
+    }
+
+    /** Print the table and record it for the JSON report. */
+    void
+    table(const Table &t)
+    {
+        t.print(std::cout);
+        tables_.push_back(t);
+    }
+
+    /** Record a value series; p50/p95/min/max/mean land in the JSON. */
+    void
+    series(const std::string &name, std::vector<double> values)
+    {
+        series_.emplace_back(name, std::move(values));
+    }
+
+    /** Record one modelled time breakdown (compute/memory/transfer). */
+    void
+    breakdown(const std::string &name, const perf::Breakdown &b)
+    {
+        breakdowns_.emplace_back(name, b);
+    }
+
+    /** Print the band check line and record the verdict. */
+    void
+    bandCheck(const std::string &label, double value, double lo,
+              double hi)
+    {
+        printBandCheck(label, value, lo, hi);
+        checks_.push_back({label, value, lo, hi});
+    }
+
+    /**
+     * Write BENCH_<name>.json into $PIMHE_BENCH_OUT (default: working
+     * directory). Returns a process exit code so benches can end with
+     * `return report.write();`.
+     */
+    int
+    write() const
+    {
+        obs::JsonValue doc = obs::JsonValue::makeObject();
+        doc.set("schema", obs::JsonValue("pimhe-bench/v1"));
+        doc.set("bench", obs::JsonValue(name_));
+        doc.set("experiment", obs::JsonValue(exp_));
+        doc.set("title", obs::JsonValue(title_));
+        doc.set("repetitions",
+                obs::JsonValue(std::uint64_t{repetitions_}));
+        doc.set("warmup", obs::JsonValue(std::uint64_t{warmup_}));
+
+        obs::JsonValue tables = obs::JsonValue::makeArray();
+        for (const Table &t : tables_) {
+            obs::JsonValue one = obs::JsonValue::makeObject();
+            obs::JsonValue header = obs::JsonValue::makeArray();
+            for (const auto &cell : t.header())
+                header.push(obs::JsonValue(cell));
+            one.set("header", std::move(header));
+            obs::JsonValue rows = obs::JsonValue::makeArray();
+            for (const auto &row : t.rows()) {
+                obs::JsonValue jrow = obs::JsonValue::makeArray();
+                for (const auto &cell : row)
+                    jrow.push(obs::JsonValue(cell));
+                rows.push(std::move(jrow));
+            }
+            one.set("rows", std::move(rows));
+            tables.push(std::move(one));
+        }
+        doc.set("tables", std::move(tables));
+
+        obs::JsonValue series = obs::JsonValue::makeObject();
+        for (const auto &kv : series_) {
+            const std::vector<double> &values = kv.second;
+            obs::JsonValue one = obs::JsonValue::makeObject();
+            obs::JsonValue vals = obs::JsonValue::makeArray();
+            double sum = 0;
+            for (const double v : values) {
+                vals.push(obs::JsonValue(v));
+                sum += v;
+            }
+            one.set("values", std::move(vals));
+            std::vector<double> sorted = values;
+            std::sort(sorted.begin(), sorted.end());
+            one.set("p50", obs::JsonValue(p50(sorted)));
+            one.set("p95", obs::JsonValue(p95(sorted)));
+            one.set("min", obs::JsonValue(sorted.front()));
+            one.set("max", obs::JsonValue(sorted.back()));
+            one.set("mean", obs::JsonValue(
+                                sum / static_cast<double>(
+                                          sorted.size())));
+            series.set(kv.first, std::move(one));
+        }
+        doc.set("series", std::move(series));
+
+        obs::JsonValue breakdowns = obs::JsonValue::makeObject();
+        for (const auto &kv : breakdowns_) {
+            const perf::Breakdown &b = kv.second;
+            obs::JsonValue one = obs::JsonValue::makeObject();
+            one.set("compute_ms", obs::JsonValue(b.computeMs));
+            one.set("memory_ms", obs::JsonValue(b.memoryMs));
+            one.set("transfer_ms", obs::JsonValue(b.transferMs));
+            one.set("overhead_ms", obs::JsonValue(b.overheadMs));
+            one.set("total_ms", obs::JsonValue(b.totalMs()));
+            breakdowns.set(kv.first, std::move(one));
+        }
+        doc.set("breakdowns", std::move(breakdowns));
+
+        obs::JsonValue checks = obs::JsonValue::makeArray();
+        for (const auto &c : checks_) {
+            obs::JsonValue one = obs::JsonValue::makeObject();
+            one.set("label", obs::JsonValue(c.label));
+            one.set("value", obs::JsonValue(c.value));
+            one.set("lo", obs::JsonValue(c.lo));
+            one.set("hi", obs::JsonValue(c.hi));
+            one.set("pass", obs::JsonValue(c.value >= c.lo &&
+                                           c.value <= c.hi));
+            checks.push(std::move(one));
+        }
+        doc.set("band_checks", std::move(checks));
+
+        const char *dir = std::getenv("PIMHE_BENCH_OUT");
+        std::string path = dir != nullptr && *dir != '\0'
+                               ? std::string(dir) + "/"
+                               : std::string();
+        path += "BENCH_" + name_ + ".json";
+        std::string err;
+        if (!obs::writeFile(path, doc.dump(2) + "\n", &err)) {
+            std::cerr << "bench report: " << err << "\n";
+            return 1;
+        }
+        std::cout << "\nwrote " << path << "\n";
+        return 0;
+    }
+
+  private:
+    struct BandCheck
+    {
+        std::string label;
+        double value;
+        double lo;
+        double hi;
+    };
+
+    std::string name_;
+    std::string exp_;
+    std::string title_;
+    unsigned repetitions_;
+    unsigned warmup_;
+    std::vector<Table> tables_;
+    std::vector<std::pair<std::string, std::vector<double>>> series_;
+    std::vector<std::pair<std::string, perf::Breakdown>> breakdowns_;
+    std::vector<BandCheck> checks_;
+};
 
 } // namespace bench
 } // namespace pimhe

@@ -15,9 +15,10 @@ using perf::OpKind;
 int
 main()
 {
-    printHeader("F1a", "128-bit ciphertext vector addition",
-                "PIM beats CPU 20-150x (figure labels 50-100x), "
-                "CPU-SEAL 35-80x, GPU 2-15x");
+    Report report("fig1a_vector_add", "F1a",
+                  "128-bit ciphertext vector addition",
+                  "PIM beats CPU 20-150x (figure labels 50-100x), "
+                  "CPU-SEAL 35-80x, GPU 2-15x");
 
     baselines::PlatformSuite suite;
     const std::size_t n = 4096;
@@ -28,14 +29,16 @@ main()
     double min_cpu = 1e300, max_cpu = 0;
     double min_seal = 1e300, max_seal = 0;
     double min_gpu = 1e300, max_gpu = 0;
+    std::vector<double> pim_ms, speedups;
+    perf::Breakdown pim_bd;
     for (const std::size_t cts :
          {20480ul, 40960ul, 81920ul, 163840ul, 327680ul}) {
         const std::size_t elems = ctElems(cts, n);
         const std::size_t units = cts * 2;
-        const double pim =
-            suite.pim()
-                .elementwiseMs(OpKind::VecAdd, limbs, elems, units)
-                .totalMs();
+        pim_bd =
+            suite.pim().elementwiseMs(OpKind::VecAdd, limbs, elems,
+                                      units);
+        const double pim = pim_bd.totalMs();
         const double cpu =
             suite.cpu()
                 .elementwiseMs(OpKind::VecAdd, limbs, elems, units)
@@ -51,6 +54,8 @@ main()
         t.addRow({std::to_string(cts), Table::fmt(cpu, 2),
                   Table::fmt(pim, 2), Table::fmt(seal, 2),
                   Table::fmt(gpu, 2), Table::fmtSpeedup(cpu / pim)});
+        pim_ms.push_back(pim);
+        speedups.push_back(cpu / pim);
         min_cpu = std::min(min_cpu, cpu / pim);
         max_cpu = std::max(max_cpu, cpu / pim);
         min_seal = std::min(min_seal, seal / pim);
@@ -58,14 +63,17 @@ main()
         min_gpu = std::min(min_gpu, gpu / pim);
         max_gpu = std::max(max_gpu, gpu / pim);
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("pim_ms", pim_ms);
+    report.series("pim_cpu_speedup", speedups);
+    report.breakdown("pim_largest", pim_bd);
 
     std::cout << "\nband checks (across the sweep):\n";
-    printBandCheck("PIM/CPU min", min_cpu, 20, 150);
-    printBandCheck("PIM/CPU max", max_cpu, 20, 150);
-    printBandCheck("PIM/CPU-SEAL min", min_seal, 35, 80);
-    printBandCheck("PIM/CPU-SEAL max", max_seal, 35, 80);
-    printBandCheck("PIM/GPU min", min_gpu, 2, 15);
-    printBandCheck("PIM/GPU max", max_gpu, 2, 15);
-    return 0;
+    report.bandCheck("PIM/CPU min", min_cpu, 20, 150);
+    report.bandCheck("PIM/CPU max", max_cpu, 20, 150);
+    report.bandCheck("PIM/CPU-SEAL min", min_seal, 35, 80);
+    report.bandCheck("PIM/CPU-SEAL max", max_seal, 35, 80);
+    report.bandCheck("PIM/GPU min", min_gpu, 2, 15);
+    report.bandCheck("PIM/GPU max", max_gpu, 2, 15);
+    return report.write();
 }

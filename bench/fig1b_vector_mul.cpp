@@ -16,9 +16,11 @@ using perf::OpKind;
 int
 main()
 {
-    printHeader("F1b", "128-bit ciphertext vector multiplication",
-                "PIM beats CPU 40-50x; GPU is 12-15x faster than PIM; "
-                "CPU-SEAL is 2-4x faster than PIM at 64/128 bits");
+    Report report("fig1b_vector_mul", "F1b",
+                  "128-bit ciphertext vector multiplication",
+                  "PIM beats CPU 40-50x; GPU is 12-15x faster than "
+                  "PIM; CPU-SEAL is 2-4x faster than PIM at 64/128 "
+                  "bits");
 
     baselines::PlatformSuite suite;
     const std::size_t n = 4096;
@@ -27,14 +29,15 @@ main()
     Table t({"#ciphertexts", "CPU (ms)", "PIM (ms)", "CPU-SEAL (ms)",
              "GPU (ms)", "PIM/CPU speedup"});
     double cpu_ratio = 0, seal_ratio = 0, gpu_ratio = 0;
+    std::vector<double> pim_ms, speedups;
+    perf::Breakdown pim_bd;
     for (const std::size_t cts :
          {5120ul, 10240ul, 20480ul, 40960ul, 81920ul}) {
         const std::size_t elems = ctElems(cts, n);
         const std::size_t units = cts * 2;
-        const double pim =
-            suite.pim()
-                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
-                .totalMs();
+        pim_bd = suite.pim().elementwiseMs(OpKind::VecMul, limbs,
+                                           elems, units);
+        const double pim = pim_bd.totalMs();
         const double cpu =
             suite.cpu()
                 .elementwiseMs(OpKind::VecMul, limbs, elems, units)
@@ -50,15 +53,20 @@ main()
         t.addRow({std::to_string(cts), Table::fmt(cpu, 1),
                   Table::fmt(pim, 1), Table::fmt(seal, 1),
                   Table::fmt(gpu, 1), Table::fmtSpeedup(cpu / pim)});
+        pim_ms.push_back(pim);
+        speedups.push_back(cpu / pim);
         cpu_ratio = cpu / pim;
         seal_ratio = pim / seal;
         gpu_ratio = pim / gpu;
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("pim_ms", pim_ms);
+    report.series("pim_cpu_speedup", speedups);
+    report.breakdown("pim_largest", pim_bd);
 
     std::cout << "\nband checks (largest sweep point):\n";
-    printBandCheck("PIM/CPU", cpu_ratio, 40, 50);
-    printBandCheck("CPU-SEAL advantage over PIM", seal_ratio, 2, 4);
-    printBandCheck("GPU advantage over PIM", gpu_ratio, 12, 15);
-    return 0;
+    report.bandCheck("PIM/CPU", cpu_ratio, 40, 50);
+    report.bandCheck("CPU-SEAL advantage over PIM", seal_ratio, 2, 4);
+    report.bandCheck("GPU advantage over PIM", gpu_ratio, 12, 15);
+    return report.write();
 }

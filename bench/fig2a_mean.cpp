@@ -13,9 +13,10 @@ using namespace pimhe::bench;
 int
 main()
 {
-    printHeader("F2a", "arithmetic mean (640/1280/2560 users)",
-                "PIM beats CPU 25-100x, CPU-SEAL 11-50x, GPU 9-34x; "
-                "PIM time stays ~constant across user counts");
+    Report report("fig2a_mean", "F2a",
+                  "arithmetic mean (640/1280/2560 users)",
+                  "PIM beats CPU 25-100x, CPU-SEAL 11-50x, GPU 9-34x; "
+                  "PIM time stays ~constant across user counts");
 
     baselines::PlatformSuite suite;
 
@@ -24,6 +25,7 @@ main()
     double pim_first = 0, pim_last = 0;
     double lo[3] = {1e300, 1e300, 1e300};
     double hi[3] = {0, 0, 0};
+    std::vector<double> pim_ms, speedups;
     for (const std::size_t users : {640ul, 1280ul, 2560ul}) {
         workloads::WorkloadShape s;
         s.users = users;
@@ -44,17 +46,21 @@ main()
         if (users == 640)
             pim_first = pim;
         pim_last = pim;
+        pim_ms.push_back(pim);
+        speedups.push_back(cpu / pim);
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("pim_ms", pim_ms);
+    report.series("pim_cpu_speedup", speedups);
 
     std::cout << "\nband checks:\n";
-    printBandCheck("PIM/CPU min", lo[0], 25, 100);
-    printBandCheck("PIM/CPU max", hi[0], 25, 100);
-    printBandCheck("PIM/CPU-SEAL min", lo[1], 11, 50);
-    printBandCheck("PIM/CPU-SEAL max", hi[1], 11, 50);
-    printBandCheck("PIM/GPU min", lo[2], 9, 34);
-    printBandCheck("PIM/GPU max", hi[2], 9, 34);
-    printBandCheck("PIM flatness (t_2560 / t_640)",
-                   pim_last / pim_first, 0.5, 2.1);
-    return 0;
+    report.bandCheck("PIM/CPU min", lo[0], 25, 100);
+    report.bandCheck("PIM/CPU max", hi[0], 25, 100);
+    report.bandCheck("PIM/CPU-SEAL min", lo[1], 11, 50);
+    report.bandCheck("PIM/CPU-SEAL max", hi[1], 11, 50);
+    report.bandCheck("PIM/GPU min", lo[2], 9, 34);
+    report.bandCheck("PIM/GPU max", hi[2], 9, 34);
+    report.bandCheck("PIM flatness (t_2560 / t_640)",
+                     pim_last / pim_first, 0.5, 2.1);
+    return report.write();
 }

@@ -14,9 +14,10 @@ using namespace pimhe::bench;
 int
 main()
 {
-    printHeader("F2b", "variance (640/1280/2560 users)",
-                "PIM beats CPU 6-25x; CPU-SEAL is 2-10x and GPU "
-                "13-50x faster than PIM");
+    Report report("fig2b_variance", "F2b",
+                  "variance (640/1280/2560 users)",
+                  "PIM beats CPU 6-25x; CPU-SEAL is 2-10x and GPU "
+                  "13-50x faster than PIM");
 
     baselines::PlatformSuite suite;
 
@@ -24,6 +25,7 @@ main()
              "GPU (ms)", "PIM/CPU", "SEAL adv", "GPU adv"});
     double lo[3] = {1e300, 1e300, 1e300};
     double hi[3] = {0, 0, 0};
+    std::vector<double> pim_ms, speedups;
     for (const std::size_t users : {640ul, 1280ul, 2560ul}) {
         workloads::WorkloadShape s;
         s.users = users;
@@ -41,15 +43,19 @@ main()
             lo[i] = std::min(lo[i], r[i]);
             hi[i] = std::max(hi[i], r[i]);
         }
+        pim_ms.push_back(pim);
+        speedups.push_back(cpu / pim);
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("pim_ms", pim_ms);
+    report.series("pim_cpu_speedup", speedups);
 
     std::cout << "\nband checks:\n";
-    printBandCheck("PIM/CPU min", lo[0], 6, 25);
-    printBandCheck("PIM/CPU max", hi[0], 6, 25);
-    printBandCheck("CPU-SEAL advantage min", lo[1], 2, 10);
-    printBandCheck("CPU-SEAL advantage max", hi[1], 2, 10);
-    printBandCheck("GPU advantage min", lo[2], 13, 50);
-    printBandCheck("GPU advantage max", hi[2], 13, 50);
-    return 0;
+    report.bandCheck("PIM/CPU min", lo[0], 6, 25);
+    report.bandCheck("PIM/CPU max", hi[0], 6, 25);
+    report.bandCheck("CPU-SEAL advantage min", lo[1], 2, 10);
+    report.bandCheck("CPU-SEAL advantage max", hi[1], 2, 10);
+    report.bandCheck("GPU advantage min", lo[2], 13, 50);
+    report.bandCheck("GPU advantage max", hi[2], 13, 50);
+    return report.write();
 }

@@ -13,16 +13,18 @@ using namespace pimhe::bench;
 int
 main()
 {
-    printHeader("F2c",
-                "linear regression (640 users, 32/64 cts per user)",
-                "PIM beats CPU ~7.5x at 32 cts; at 64 cts CPU-SEAL is "
-                "~11.4x and GPU ~54.9x faster than PIM");
+    Report report(
+        "fig2c_linreg", "F2c",
+        "linear regression (640 users, 32/64 cts per user)",
+        "PIM beats CPU ~7.5x at 32 cts; at 64 cts CPU-SEAL is "
+        "~11.4x and GPU ~54.9x faster than PIM");
 
     baselines::PlatformSuite suite;
 
     Table t({"cts/user", "CPU (ms)", "PIM (ms)", "CPU-SEAL (ms)",
              "GPU (ms)", "PIM/CPU", "SEAL adv", "GPU adv"});
     double cpu32 = 0, seal64 = 0, gpu64 = 0;
+    std::vector<double> pim_ms, speedups;
     for (const std::size_t cts_per_user : {32ul, 64ul}) {
         workloads::WorkloadShape s;
         s.users = 640;
@@ -42,16 +44,20 @@ main()
             seal64 = pim / seal;
             gpu64 = pim / gpu;
         }
+        pim_ms.push_back(pim);
+        speedups.push_back(cpu / pim);
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("pim_ms", pim_ms);
+    report.series("pim_cpu_speedup", speedups);
 
     std::cout << "\nband checks (paper quotes single values; +/-50% "
                  "bands):\n";
-    printBandCheck("PIM/CPU at 32 cts (paper 7.5x)", cpu32, 3.75,
-                   11.25);
-    printBandCheck("CPU-SEAL advantage at 64 cts (paper 11.4x)",
-                   seal64, 5.7, 17.1);
-    printBandCheck("GPU advantage at 64 cts (paper 54.9x)", gpu64,
-                   27.0, 82.0);
-    return 0;
+    report.bandCheck("PIM/CPU at 32 cts (paper 7.5x)", cpu32, 3.75,
+                     11.25);
+    report.bandCheck("CPU-SEAL advantage at 64 cts (paper 11.4x)",
+                     seal64, 5.7, 17.1);
+    report.bandCheck("GPU advantage at 64 cts (paper 54.9x)", gpu64,
+                     27.0, 82.0);
+    return report.write();
 }

@@ -17,9 +17,10 @@ using perf::OpKind;
 int
 main()
 {
-    printHeader("T1", "addition width sweep (32/64/128-bit)",
-                "PIM vs CPU 20-150x, vs CPU-SEAL 35-80x, vs GPU "
-                "2-50x across widths");
+    Report report("tab_width_sweep_add", "T1",
+                  "addition width sweep (32/64/128-bit)",
+                  "PIM vs CPU 20-150x, vs CPU-SEAL 35-80x, vs GPU "
+                  "2-50x across widths");
 
     baselines::PlatformSuite suite;
     const std::size_t cts = 81920;
@@ -29,14 +30,15 @@ main()
     double cpu_lo = 1e300, cpu_hi = 0;
     double seal_lo = 1e300, seal_hi = 0;
     double gpu_lo = 1e300, gpu_hi = 0;
+    std::vector<double> pim_ms, speedups;
+    perf::Breakdown pim_bd;
     for (const std::size_t limbs : {1ul, 2ul, 4ul}) {
         const std::size_t n = degreeFor(limbs);
         const std::size_t elems = ctElems(cts, n);
         const std::size_t units = cts * 2;
-        const double pim =
-            suite.pim()
-                .elementwiseMs(OpKind::VecAdd, limbs, elems, units)
-                .totalMs();
+        pim_bd = suite.pim().elementwiseMs(OpKind::VecAdd, limbs,
+                                           elems, units);
+        const double pim = pim_bd.totalMs();
         const double cpu =
             suite.cpu()
                 .elementwiseMs(OpKind::VecAdd, limbs, elems, units)
@@ -61,17 +63,22 @@ main()
         seal_hi = std::max(seal_hi, seal / pim);
         gpu_lo = std::min(gpu_lo, gpu / pim);
         gpu_hi = std::max(gpu_hi, gpu / pim);
+        pim_ms.push_back(pim);
+        speedups.push_back(cpu / pim);
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("pim_ms", pim_ms);
+    report.series("pim_cpu_speedup", speedups);
+    report.breakdown("pim_128bit", pim_bd);
 
     std::cout << "\nband checks:\n";
-    printBandCheck("PIM/CPU min", cpu_lo, 20, 150);
-    printBandCheck("PIM/CPU max", cpu_hi, 20, 150);
-    printBandCheck("PIM/CPU-SEAL min", seal_lo, 35, 80);
+    report.bandCheck("PIM/CPU min", cpu_lo, 20, 150);
+    report.bandCheck("PIM/CPU max", cpu_hi, 20, 150);
+    report.bandCheck("PIM/CPU-SEAL min", seal_lo, 35, 80);
     // The 35-80x band is quoted at Fig. 1(a) scale; the 32-bit
     // sweep point sits a few percent above it.
-    printBandCheck("PIM/CPU-SEAL max", seal_hi, 35, 90);
-    printBandCheck("PIM/GPU min", gpu_lo, 1.5, 50);
-    printBandCheck("PIM/GPU max", gpu_hi, 2, 50);
-    return 0;
+    report.bandCheck("PIM/CPU-SEAL max", seal_hi, 35, 90);
+    report.bandCheck("PIM/GPU min", gpu_lo, 1.5, 50);
+    report.bandCheck("PIM/GPU max", gpu_hi, 2, 50);
+    return report.write();
 }

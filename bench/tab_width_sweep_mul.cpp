@@ -15,10 +15,11 @@ using perf::OpKind;
 int
 main()
 {
-    printHeader("T2", "multiplication width sweep (32/64/128-bit)",
-                "PIM vs CPU 40-50x; vs CPU-SEAL: PIM ~2x faster at "
-                "32-bit, 2-4x slower at 64/128-bit; GPU 12-15x faster "
-                "than PIM");
+    Report report("tab_width_sweep_mul", "T2",
+                  "multiplication width sweep (32/64/128-bit)",
+                  "PIM vs CPU 40-50x; vs CPU-SEAL: PIM ~2x faster at "
+                  "32-bit, 2-4x slower at 64/128-bit; GPU 12-15x "
+                  "faster than PIM");
 
     baselines::PlatformSuite suite;
     const std::size_t cts = 20480;
@@ -28,14 +29,15 @@ main()
     double seal_ratio_32 = 0, seal_adv_128 = 0;
     double cpu_lo = 1e300, cpu_hi = 0;
     double gpu_lo = 1e300, gpu_hi = 0;
+    std::vector<double> pim_ms, speedups;
+    perf::Breakdown pim_bd;
     for (const std::size_t limbs : {1ul, 2ul, 4ul}) {
         const std::size_t n = degreeFor(limbs);
         const std::size_t elems = ctElems(cts, n);
         const std::size_t units = cts * 2;
-        const double pim =
-            suite.pim()
-                .elementwiseMs(OpKind::VecMul, limbs, elems, units)
-                .totalMs();
+        pim_bd = suite.pim().elementwiseMs(OpKind::VecMul, limbs,
+                                           elems, units);
+        const double pim = pim_bd.totalMs();
         const double cpu =
             suite.cpu()
                 .elementwiseMs(OpKind::VecMul, limbs, elems, units)
@@ -62,16 +64,21 @@ main()
         cpu_hi = std::max(cpu_hi, cpu / pim);
         gpu_lo = std::min(gpu_lo, pim / gpu);
         gpu_hi = std::max(gpu_hi, pim / gpu);
+        pim_ms.push_back(pim);
+        speedups.push_back(cpu / pim);
     }
-    t.print(std::cout);
+    report.table(t);
+    report.series("pim_ms", pim_ms);
+    report.series("pim_cpu_speedup", speedups);
+    report.breakdown("pim_128bit", pim_bd);
 
     std::cout << "\nband checks:\n";
-    printBandCheck("PIM/CPU min", cpu_lo, 20, 50);
-    printBandCheck("PIM/CPU max", cpu_hi, 40, 50);
-    printBandCheck("SEAL/PIM at 32-bit (paper ~2x)", seal_ratio_32,
-                   0.9, 3.0);
-    printBandCheck("SEAL advantage at 128-bit", seal_adv_128, 2, 4);
-    printBandCheck("GPU advantage min", gpu_lo, 9, 25);
-    printBandCheck("GPU advantage max", gpu_hi, 12, 25);
-    return 0;
+    report.bandCheck("PIM/CPU min", cpu_lo, 20, 50);
+    report.bandCheck("PIM/CPU max", cpu_hi, 40, 50);
+    report.bandCheck("SEAL/PIM at 32-bit (paper ~2x)", seal_ratio_32,
+                     0.9, 3.0);
+    report.bandCheck("SEAL advantage at 128-bit", seal_adv_128, 2, 4);
+    report.bandCheck("GPU advantage min", gpu_lo, 9, 25);
+    report.bandCheck("GPU advantage max", gpu_hi, 12, 25);
+    return report.write();
 }

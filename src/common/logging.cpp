@@ -1,6 +1,90 @@
 #include "logging.h"
 
+#include <cstring>
+#include <memory>
+#include <mutex>
+
 namespace pimhe {
+
+namespace {
+
+std::mutex g_logMutex;
+bool g_levelOverridden = false;
+LogLevel g_level = LogLevel::Inform;
+std::shared_ptr<const LogSink> g_sink; // null = default sink
+
+LogLevel
+levelFromEnv()
+{
+    const char *v = std::getenv("PIMHE_LOG_LEVEL");
+    if (v == nullptr || *v == '\0')
+        return LogLevel::Inform;
+    if (std::strcmp(v, "quiet") == 0)
+        return LogLevel::Quiet;
+    if (std::strcmp(v, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(v, "inform") == 0)
+        return LogLevel::Inform;
+    std::cerr << "warn: unknown PIMHE_LOG_LEVEL '" << v
+              << "' (want quiet|warn|inform); using inform"
+              << std::endl;
+    return LogLevel::Inform;
+}
+
+/** Route one already-level-filtered message to the active sink. */
+void
+dispatch(LogLevel level, const std::string &msg)
+{
+    std::shared_ptr<const LogSink> sink;
+    {
+        std::lock_guard<std::mutex> lock(g_logMutex);
+        sink = g_sink;
+    }
+    if (sink && *sink)
+        (*sink)(level, msg);
+    else
+        defaultLogSink(level, msg);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    {
+        std::lock_guard<std::mutex> lock(g_logMutex);
+        if (g_levelOverridden)
+            return g_level;
+    }
+    static const LogLevel env_level = levelFromEnv();
+    return env_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    std::lock_guard<std::mutex> lock(g_logMutex);
+    g_levelOverridden = true;
+    g_level = level;
+}
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(g_logMutex);
+    g_sink = sink ? std::make_shared<const LogSink>(std::move(sink))
+                  : nullptr;
+}
+
+void
+defaultLogSink(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+    else
+        std::cout << "info: " << msg << std::endl;
+}
+
 namespace detail {
 
 [[noreturn]] void
@@ -26,13 +110,17 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    if (logLevel() < LogLevel::Warn)
+        return;
+    dispatch(LogLevel::Warn, msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::cout << "info: " << msg << std::endl;
+    if (logLevel() < LogLevel::Inform)
+        return;
+    dispatch(LogLevel::Inform, msg);
 }
 
 } // namespace detail

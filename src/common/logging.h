@@ -12,11 +12,47 @@
 #define PIMHE_COMMON_LOGGING_H
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string_view>
 
 namespace pimhe {
+
+/**
+ * Verbosity of the status-message channel (panic/fatal are never
+ * filtered). Each level includes the ones below it.
+ */
+enum class LogLevel
+{
+    Quiet = 0,  //!< suppress warn() and inform()
+    Warn = 1,   //!< warn() only
+    Inform = 2, //!< warn() and inform() (the default)
+};
+
+/**
+ * Effective log level: the value from setLogLevel() when called,
+ * otherwise the PIMHE_LOG_LEVEL environment variable
+ * ("quiet"/"warn"/"inform", read once), otherwise Inform.
+ */
+LogLevel logLevel();
+
+/** Override the log level for this process. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Sink every surviving warn()/inform() message is routed through
+ * (after level filtering, so a Quiet process stays quiet for any
+ * sink). The observability trace recorder installs a sink to mirror
+ * messages into the trace; see obs/trace.h.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/** Install a sink; an empty function restores the default sink. */
+void setLogSink(LogSink sink);
+
+/** The default sink: "info: ..." to stdout, "warn: ..." to stderr. */
+void defaultLogSink(LogLevel level, const std::string &msg);
 
 namespace detail {
 

@@ -56,6 +56,53 @@ geomean(std::span<const double> xs)
     return std::exp(acc / static_cast<double>(xs.size()));
 }
 
+/**
+ * Nearest-rank percentile of an ascending-sorted sample: the smallest
+ * element such that at least p percent of the sample is <= it
+ * (rank = ceil(p/100 * n), 1-based). Exact order statistics, no
+ * interpolation, so results are bit-stable across platforms.
+ *
+ * @param sorted Sample sorted ascending (asserted in debug-ish spot
+ *               checks, not fully — callers sort once and query many
+ *               percentiles).
+ * @param p      Percentile in (0, 100].
+ */
+inline double
+percentile(std::span<const double> sorted, double p)
+{
+    PIMHE_ASSERT(!sorted.empty(), "percentile of empty sample");
+    PIMHE_ASSERT(p > 0 && p <= 100, "percentile out of (0,100]: ", p);
+    const double n = static_cast<double>(sorted.size());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank < 1)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+/** Median (50th percentile, nearest-rank) of a sorted sample. */
+inline double
+p50(std::span<const double> sorted)
+{
+    return percentile(sorted, 50);
+}
+
+/** 95th percentile (nearest-rank) of a sorted sample. */
+inline double
+p95(std::span<const double> sorted)
+{
+    return percentile(sorted, 95);
+}
+
+/** 99th percentile (nearest-rank) of a sorted sample. */
+inline double
+p99(std::span<const double> sorted)
+{
+    return percentile(sorted, 99);
+}
+
 } // namespace pimhe
 
 #endif // PIMHE_COMMON_STATS_H

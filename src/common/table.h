@@ -37,6 +37,15 @@ class Table
     /** Number of data rows added so far. */
     std::size_t rowCount() const { return rows_.size(); }
 
+    /** Column headers (for machine-readable export). */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Data rows (for machine-readable export). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Format a double with the given precision. */
     static std::string fmt(double value, int precision = 3);
 

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Minimal JSON document model used by the observability layer.
+ *
+ * The instrumentation exports (Chrome trace, metrics snapshots, bench
+ * reports) and their schema validators all need JSON, but the repo
+ * deliberately carries no third-party dependencies, so this is a small
+ * self-contained value type with a writer and a recursive-descent
+ * parser. It is not a general-purpose library: documents are expected
+ * to be tool-sized (kilobytes to a few megabytes), numbers are stored
+ * as doubles (integers up to 2^53 round-trip exactly, which covers
+ * every counter the simulator can realistically accumulate), and
+ * parsing returns structured errors instead of throwing.
+ */
+
+#ifndef PIMHE_OBS_JSON_H
+#define PIMHE_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pimhe {
+namespace obs {
+
+/** Escape a string for embedding inside JSON double quotes. */
+std::string jsonEscape(std::string_view s);
+
+/** One JSON value; objects preserve insertion order. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    explicit JsonValue(double v) : kind_(Kind::Number), num_(v) {}
+    explicit JsonValue(std::uint64_t v)
+        : kind_(Kind::Number), num_(static_cast<double>(v))
+    {}
+    explicit JsonValue(int v)
+        : kind_(Kind::Number), num_(static_cast<double>(v))
+    {}
+    explicit JsonValue(std::string s)
+        : kind_(Kind::String), str_(std::move(s))
+    {}
+    explicit JsonValue(const char *s) : kind_(Kind::String), str_(s) {}
+
+    static JsonValue
+    makeArray()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    static JsonValue
+    makeObject()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    const std::string &asString() const { return str_; }
+
+    const std::vector<JsonValue> &items() const { return items_; }
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Append to an array value. */
+    void
+    push(JsonValue v)
+    {
+        kind_ = Kind::Array;
+        items_.push_back(std::move(v));
+    }
+
+    /** Set (append or replace) an object member. */
+    void
+    set(const std::string &key, JsonValue v)
+    {
+        kind_ = Kind::Object;
+        for (auto &kv : members_)
+            if (kv.first == key) {
+                kv.second = std::move(v);
+                return;
+            }
+        members_.emplace_back(key, std::move(v));
+    }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Serialise. indent=0 emits a compact single line. */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Outcome of parseJson: ok or a position-annotated error message. */
+struct JsonParseResult
+{
+    bool ok = false;
+    std::string error;
+    JsonValue value;
+};
+
+/** Parse a complete JSON document (trailing whitespace allowed). */
+JsonParseResult parseJson(std::string_view text);
+
+} // namespace obs
+} // namespace pimhe
+
+#endif // PIMHE_OBS_JSON_H

@@ -1,0 +1,291 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace pimhe {
+namespace obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_nextRegistryId{1};
+
+bool
+envEnablesMetrics()
+{
+    const char *v = std::getenv("PIMHE_OBS");
+    if (v == nullptr)
+        return false;
+    return std::strcmp(v, "1") == 0 || std::strcmp(v, "all") == 0 ||
+           std::strcmp(v, "metrics") == 0;
+}
+
+std::size_t
+findOrAppend(std::vector<std::string> &names, const std::string &name)
+{
+    for (std::size_t i = 0; i < names.size(); ++i)
+        if (names[i] == name)
+            return i;
+    names.push_back(name);
+    return names.size() - 1;
+}
+
+bool
+isHostMetric(const std::string &name)
+{
+    return name.rfind("host.", 0) == 0;
+}
+
+} // namespace
+
+Registry::Registry()
+    : id_(g_nextRegistryId.fetch_add(1, std::memory_order_relaxed))
+{}
+
+Registry::~Registry() = default;
+
+Registry &
+Registry::global()
+{
+    // Leaked on purpose: worker threads may still hold shard pointers
+    // during static destruction, so the global registry never dies.
+    static Registry *g = [] {
+        auto *r = new Registry();
+        r->setEnabled(envEnablesMetrics());
+        return r;
+    }();
+    return *g;
+}
+
+Counter
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return Counter(this, findOrAppend(counterNames_, name));
+}
+
+Gauge
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    const std::size_t idx = findOrAppend(gaugeNames_, name);
+    if (idx >= gaugeValues_.size()) {
+        gaugeValues_.resize(idx + 1, 0.0);
+        gaugeSet_.resize(idx + 1, false);
+    }
+    return Gauge(this, idx);
+}
+
+Histogram
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return Histogram(this, findOrAppend(histogramNames_, name));
+}
+
+Registry::Shard &
+Registry::shardForThisThread()
+{
+    // Per-thread cache mapping registry ids to this thread's shard.
+    // Registry ids are never reused, so entries for destroyed
+    // registries simply stop matching. The vector stays tiny (one or
+    // two registries per process), so linear scan beats any map.
+    thread_local std::vector<std::pair<std::uint64_t, Shard *>> cache;
+    for (const auto &entry : cache)
+        if (entry.first == id_)
+            return *entry.second;
+    auto shard = std::make_unique<Shard>();
+    Shard *raw = shard.get();
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        shards_.push_back(std::move(shard));
+    }
+    cache.emplace_back(id_, raw);
+    return *raw;
+}
+
+void
+Registry::recordCounter(std::size_t idx, std::uint64_t delta)
+{
+    Shard &s = shardForThisThread();
+    std::lock_guard<std::mutex> lock(s.m);
+    if (idx >= s.counters.size())
+        s.counters.resize(idx + 1, 0);
+    s.counters[idx] += delta;
+}
+
+void
+Registry::recordGauge(std::size_t idx, double value)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    PIMHE_ASSERT(idx < gaugeValues_.size(), "gauge slot out of range");
+    gaugeValues_[idx] = value;
+    gaugeSet_[idx] = true;
+}
+
+void
+Registry::recordHistogram(std::size_t idx, double value)
+{
+    Shard &s = shardForThisThread();
+    std::lock_guard<std::mutex> lock(s.m);
+    if (idx >= s.histograms.size())
+        s.histograms.resize(idx + 1);
+    s.histograms[idx].push_back(value);
+}
+
+Snapshot
+Registry::scrape() const
+{
+    Snapshot snap;
+    std::lock_guard<std::mutex> lock(m_);
+
+    std::vector<std::uint64_t> counters(counterNames_.size(), 0);
+    std::vector<std::vector<double>> hists(histogramNames_.size());
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> slock(shard->m);
+        for (std::size_t i = 0; i < shard->counters.size(); ++i)
+            counters[i] += shard->counters[i];
+        for (std::size_t i = 0; i < shard->histograms.size(); ++i)
+            hists[i].insert(hists[i].end(),
+                            shard->histograms[i].begin(),
+                            shard->histograms[i].end());
+    }
+
+    for (std::size_t i = 0; i < counterNames_.size(); ++i)
+        snap.counters.emplace_back(counterNames_[i], counters[i]);
+    for (std::size_t i = 0; i < gaugeNames_.size(); ++i)
+        if (gaugeSet_[i])
+            snap.gauges.emplace_back(gaugeNames_[i], gaugeValues_[i]);
+    for (std::size_t i = 0; i < histogramNames_.size(); ++i) {
+        auto &samples = hists[i];
+        HistogramStat st;
+        st.count = samples.size();
+        if (!samples.empty()) {
+            // Sort before summing: both the order statistics and the
+            // floating-point sum become independent of which shard
+            // (i.e. which host thread) recorded each sample.
+            std::sort(samples.begin(), samples.end());
+            for (const double v : samples)
+                st.sum += v;
+            st.min = samples.front();
+            st.max = samples.back();
+            st.p50 = p50(samples);
+            st.p95 = p95(samples);
+            st.p99 = p99(samples);
+        }
+        snap.histograms.emplace_back(histogramNames_[i], st);
+    }
+
+    auto byName = [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), byName);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), byName);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), byName);
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> slock(shard->m);
+        std::fill(shard->counters.begin(), shard->counters.end(), 0);
+        for (auto &h : shard->histograms)
+            h.clear();
+    }
+    std::fill(gaugeValues_.begin(), gaugeValues_.end(), 0.0);
+    std::fill(gaugeSet_.begin(), gaugeSet_.end(), false);
+}
+
+bool
+Snapshot::modelledEquals(const Snapshot &other, std::string *why) const
+{
+    const auto mismatch = [&](const std::string &what) {
+        if (why != nullptr)
+            *why = what;
+        return false;
+    };
+
+    auto filterCounters = [](const Snapshot &s) {
+        std::vector<std::pair<std::string, std::uint64_t>> out;
+        for (const auto &kv : s.counters)
+            if (!isHostMetric(kv.first))
+                out.push_back(kv);
+        return out;
+    };
+    auto filterGauges = [](const Snapshot &s) {
+        std::vector<std::pair<std::string, double>> out;
+        for (const auto &kv : s.gauges)
+            if (!isHostMetric(kv.first))
+                out.push_back(kv);
+        return out;
+    };
+    auto filterHists = [](const Snapshot &s) {
+        std::vector<std::pair<std::string, HistogramStat>> out;
+        for (const auto &kv : s.histograms)
+            if (!isHostMetric(kv.first))
+                out.push_back(kv);
+        return out;
+    };
+
+    const auto ca = filterCounters(*this), cb = filterCounters(other);
+    if (ca.size() != cb.size())
+        return mismatch("counter set size differs");
+    for (std::size_t i = 0; i < ca.size(); ++i)
+        if (ca[i] != cb[i])
+            return mismatch("counter " + ca[i].first);
+
+    const auto ga = filterGauges(*this), gb = filterGauges(other);
+    if (ga.size() != gb.size())
+        return mismatch("gauge set size differs");
+    for (std::size_t i = 0; i < ga.size(); ++i)
+        if (ga[i].first != gb[i].first ||
+            ga[i].second != gb[i].second)
+            return mismatch("gauge " + ga[i].first);
+
+    const auto ha = filterHists(*this), hb = filterHists(other);
+    if (ha.size() != hb.size())
+        return mismatch("histogram set size differs");
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+        const auto &a = ha[i].second;
+        const auto &b = hb[i].second;
+        if (ha[i].first != hb[i].first || a.count != b.count ||
+            a.sum != b.sum || a.min != b.min || a.max != b.max ||
+            a.p50 != b.p50 || a.p95 != b.p95 || a.p99 != b.p99)
+            return mismatch("histogram " + ha[i].first);
+    }
+    return true;
+}
+
+bool
+Snapshot::counterValue(const std::string &name,
+                       std::uint64_t *out) const
+{
+    for (const auto &kv : counters)
+        if (kv.first == name) {
+            *out = kv.second;
+            return true;
+        }
+    return false;
+}
+
+bool
+Snapshot::histogramStat(const std::string &name,
+                        HistogramStat *out) const
+{
+    for (const auto &kv : histograms)
+        if (kv.first == name) {
+            *out = kv.second;
+            return true;
+        }
+    return false;
+}
+
+} // namespace obs
+} // namespace pimhe

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and histograms with a
+ * cheap thread-safe recording path.
+ *
+ * Design (see DESIGN.md §9):
+ *
+ *  - Recording is sharded per host thread. Each thread lazily
+ *    registers one Shard with the registry; a record takes one
+ *    relaxed atomic load (the enabled flag), a thread-local shard
+ *    lookup and an uncontended per-shard mutex. When the registry is
+ *    disabled the record path returns after the single load and
+ *    performs no allocation — the overhead-guard test locks this in.
+ *
+ *  - Scraping merges all shards into an immutable Snapshot. Counter
+ *    merges are integer additions and histogram samples are sorted
+ *    before any statistic is computed, so a snapshot of modelled
+ *    metrics is bit-identical at any host thread count (the
+ *    determinism contract the simulator's LaunchStats already obey).
+ *    Wall-clock metrics are namespaced under "host." and excluded
+ *    from determinism comparisons via Snapshot::modelledEquals.
+ *
+ *  - Handles (Counter/Gauge/Histogram) are cheap value types bound to
+ *    slots, typically cached in function-local statics at the record
+ *    site. Registry::reset() zeroes values but keeps slots, so cached
+ *    handles stay valid across test iterations.
+ */
+
+#ifndef PIMHE_OBS_METRICS_H
+#define PIMHE_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pimhe {
+namespace obs {
+
+class Registry;
+
+/** Monotonic unsigned counter handle. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add `delta`; no-op (and allocation-free) when disabled. */
+    inline void add(std::uint64_t delta = 1);
+
+  private:
+    friend class Registry;
+    Counter(Registry *reg, std::size_t idx) : reg_(reg), idx_(idx) {}
+
+    Registry *reg_ = nullptr;
+    std::size_t idx_ = 0;
+};
+
+/** Last-value gauge handle (stored registry-level, not sharded). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    inline void set(double value);
+
+  private:
+    friend class Registry;
+    Gauge(Registry *reg, std::size_t idx) : reg_(reg), idx_(idx) {}
+
+    Registry *reg_ = nullptr;
+    std::size_t idx_ = 0;
+};
+
+/** Sample-collecting histogram handle. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    inline void observe(double value);
+
+  private:
+    friend class Registry;
+    Histogram(Registry *reg, std::size_t idx) : reg_(reg), idx_(idx) {}
+
+    Registry *reg_ = nullptr;
+    std::size_t idx_ = 0;
+};
+
+/** Scraped statistics of one histogram. */
+struct HistogramStat
+{
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+};
+
+/** Immutable merged view of every metric at scrape time. */
+struct Snapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramStat>> histograms;
+
+    /**
+     * Exact equality over the modelled metrics: every metric whose
+     * name does not start with "host." must match bit-for-bit. On
+     * mismatch, `why` (when given) names the first differing metric.
+     */
+    bool modelledEquals(const Snapshot &other,
+                        std::string *why = nullptr) const;
+
+    /** Lookup helpers; return false when the metric is absent. */
+    bool counterValue(const std::string &name,
+                      std::uint64_t *out) const;
+    bool histogramStat(const std::string &name,
+                       HistogramStat *out) const;
+};
+
+/**
+ * The registry proper. Most code uses Registry::global(); tests may
+ * construct private instances.
+ */
+class Registry
+{
+  public:
+    Registry();
+    ~Registry();
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Process-wide registry. First use reads the PIMHE_OBS
+     * environment variable ("1", "all" or "metrics" enable metric
+     * recording); setEnabled() overrides it afterwards.
+     */
+    static Registry &global();
+
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Find-or-create a metric slot; handles remain valid forever. */
+    Counter counter(const std::string &name);
+    Gauge gauge(const std::string &name);
+    Histogram histogram(const std::string &name);
+
+    /** Merge every shard into a deterministic snapshot. */
+    Snapshot scrape() const;
+
+    /** Zero all recorded values; registrations and handles survive. */
+    void reset();
+
+  private:
+    friend class Counter;
+    friend class Gauge;
+    friend class Histogram;
+
+    /** Per-thread value storage; guarded by its own mutex. */
+    struct Shard
+    {
+        std::mutex m;
+        std::vector<std::uint64_t> counters;
+        std::vector<std::vector<double>> histograms;
+    };
+
+    void recordCounter(std::size_t idx, std::uint64_t delta);
+    void recordGauge(std::size_t idx, double value);
+    void recordHistogram(std::size_t idx, double value);
+    Shard &shardForThisThread();
+
+    std::uint64_t id_;
+    std::atomic<bool> enabled_{false};
+
+    mutable std::mutex m_;
+    std::vector<std::string> counterNames_;
+    std::vector<std::string> gaugeNames_;
+    std::vector<std::string> histogramNames_;
+    std::vector<double> gaugeValues_;
+    std::vector<bool> gaugeSet_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+inline void
+Counter::add(std::uint64_t delta)
+{
+    if (reg_ == nullptr || !reg_->enabled())
+        return;
+    reg_->recordCounter(idx_, delta);
+}
+
+inline void
+Gauge::set(double value)
+{
+    if (reg_ == nullptr || !reg_->enabled())
+        return;
+    reg_->recordGauge(idx_, value);
+}
+
+inline void
+Histogram::observe(double value)
+{
+    if (reg_ == nullptr || !reg_->enabled())
+        return;
+    reg_->recordHistogram(idx_, value);
+}
+
+} // namespace obs
+} // namespace pimhe
+
+#endif // PIMHE_OBS_METRICS_H

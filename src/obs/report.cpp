@@ -1,0 +1,357 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace pimhe {
+namespace obs {
+
+void
+printSnapshot(const Snapshot &snap, std::ostream &os)
+{
+    if (!snap.counters.empty()) {
+        os << "counters:\n";
+        Table t({"name", "value"});
+        for (const auto &kv : snap.counters)
+            t.addRow({kv.first, std::to_string(kv.second)});
+        t.print(os);
+    }
+    if (!snap.gauges.empty()) {
+        os << "\ngauges:\n";
+        Table t({"name", "value"});
+        for (const auto &kv : snap.gauges)
+            t.addRow({kv.first, Table::fmt(kv.second, 4)});
+        t.print(os);
+    }
+    if (!snap.histograms.empty()) {
+        os << "\nhistograms:\n";
+        Table t({"name", "count", "sum", "min", "p50", "p95", "p99",
+                 "max"});
+        for (const auto &kv : snap.histograms) {
+            const HistogramStat &h = kv.second;
+            t.addRow({kv.first, std::to_string(h.count),
+                      Table::fmt(h.sum, 4), Table::fmt(h.min, 4),
+                      Table::fmt(h.p50, 4), Table::fmt(h.p95, 4),
+                      Table::fmt(h.p99, 4), Table::fmt(h.max, 4)});
+        }
+        t.print(os);
+    }
+}
+
+std::string
+snapshotToJson(const Snapshot &snap)
+{
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("schema", JsonValue("pimhe-metrics/v1"));
+
+    JsonValue counters = JsonValue::makeObject();
+    for (const auto &kv : snap.counters)
+        counters.set(kv.first, JsonValue(kv.second));
+    doc.set("counters", std::move(counters));
+
+    JsonValue gauges = JsonValue::makeObject();
+    for (const auto &kv : snap.gauges)
+        gauges.set(kv.first, JsonValue(kv.second));
+    doc.set("gauges", std::move(gauges));
+
+    JsonValue hists = JsonValue::makeObject();
+    for (const auto &kv : snap.histograms) {
+        const HistogramStat &h = kv.second;
+        JsonValue one = JsonValue::makeObject();
+        one.set("count", JsonValue(h.count));
+        one.set("sum", JsonValue(h.sum));
+        one.set("min", JsonValue(h.min));
+        one.set("max", JsonValue(h.max));
+        one.set("p50", JsonValue(h.p50));
+        one.set("p95", JsonValue(h.p95));
+        one.set("p99", JsonValue(h.p99));
+        hists.set(kv.first, std::move(one));
+    }
+    doc.set("histograms", std::move(hists));
+    return doc.dump(2) + "\n";
+}
+
+bool
+writeFile(const std::string &path, const std::string &content,
+          std::string *err)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        if (err != nullptr)
+            *err = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    os << content;
+    os.flush();
+    if (!os) {
+        if (err != nullptr)
+            *err = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string *out, std::string *err)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (err != nullptr)
+            *err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+namespace {
+
+bool
+failWith(std::string *err, const std::string &msg)
+{
+    if (err != nullptr)
+        *err = msg;
+    return false;
+}
+
+bool
+requireString(const JsonValue &obj, const char *key, std::string *err,
+              const std::string &where)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isString())
+        return failWith(err, where + ": missing string '" + key + "'");
+    return true;
+}
+
+bool
+requireNumber(const JsonValue &obj, const char *key, std::string *err,
+              const std::string &where)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isNumber())
+        return failWith(err, where + ": missing number '" + key + "'");
+    return true;
+}
+
+} // namespace
+
+bool
+validateChromeTraceJson(const std::string &text, std::string *err)
+{
+    const JsonParseResult r = parseJson(text);
+    if (!r.ok)
+        return failWith(err, "not valid JSON: " + r.error);
+    if (!r.value.isObject())
+        return failWith(err, "top level is not an object");
+    const JsonValue *schema = r.value.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "pimhe-chrome-trace/v1")
+        return failWith(err, "missing or wrong schema tag");
+    const JsonValue *events = r.value.find("traceEvents");
+    if (events == nullptr || !events->isArray())
+        return failWith(err, "missing traceEvents array");
+
+    double last_ts = -1;
+    // (pid, tid) -> stack of open span names.
+    std::map<std::pair<double, double>, std::vector<std::string>>
+        lanes;
+    std::size_t be_events = 0;
+    for (std::size_t i = 0; i < events->items().size(); ++i) {
+        const JsonValue &e = events->items()[i];
+        const std::string where = "event " + std::to_string(i);
+        if (!e.isObject())
+            return failWith(err, where + ": not an object");
+        if (!requireString(e, "name", err, where) ||
+            !requireString(e, "ph", err, where) ||
+            !requireNumber(e, "pid", err, where) ||
+            !requireNumber(e, "tid", err, where))
+            return false;
+        const std::string ph = e.find("ph")->asString();
+        if (ph == "M")
+            continue;
+        if (ph != "B" && ph != "E" && ph != "i")
+            return failWith(err, where + ": unexpected ph '" + ph +
+                                     "'");
+        if (!requireNumber(e, "ts", err, where))
+            return false;
+        const double ts = e.find("ts")->asNumber();
+        if (ph == "i")
+            continue;
+        ++be_events;
+        if (ts < last_ts)
+            return failWith(err,
+                            where + ": ts went backwards (" +
+                                std::to_string(ts) + " after " +
+                                std::to_string(last_ts) + ")");
+        last_ts = ts;
+        const auto lane = std::make_pair(e.find("pid")->asNumber(),
+                                         e.find("tid")->asNumber());
+        auto &stack = lanes[lane];
+        const std::string &name = e.find("name")->asString();
+        if (ph == "B") {
+            stack.push_back(name);
+        } else {
+            if (stack.empty())
+                return failWith(err, where + ": E without open B");
+            if (stack.back() != name)
+                return failWith(err, where + ": E '" + name +
+                                         "' does not match open B '" +
+                                         stack.back() + "'");
+            stack.pop_back();
+        }
+    }
+    for (const auto &lane : lanes)
+        if (!lane.second.empty())
+            return failWith(err, "unclosed span '" +
+                                     lane.second.back() + "'");
+    if (be_events == 0)
+        return failWith(err, "trace contains no B/E span events");
+    return true;
+}
+
+bool
+validateMetricsJson(const std::string &text, std::string *err)
+{
+    const JsonParseResult r = parseJson(text);
+    if (!r.ok)
+        return failWith(err, "not valid JSON: " + r.error);
+    if (!r.value.isObject())
+        return failWith(err, "top level is not an object");
+    const JsonValue *schema = r.value.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "pimhe-metrics/v1")
+        return failWith(err, "missing or wrong schema tag");
+    for (const char *key : {"counters", "gauges", "histograms"}) {
+        const JsonValue *section = r.value.find(key);
+        if (section == nullptr || !section->isObject())
+            return failWith(err, std::string("missing object '") +
+                                     key + "'");
+    }
+    for (const auto &kv : r.value.find("counters")->members())
+        if (!kv.second.isNumber())
+            return failWith(err, "counter '" + kv.first +
+                                     "' is not a number");
+    for (const auto &kv : r.value.find("histograms")->members()) {
+        if (!kv.second.isObject())
+            return failWith(err, "histogram '" + kv.first +
+                                     "' is not an object");
+        for (const char *field :
+             {"count", "sum", "min", "max", "p50", "p95", "p99"})
+            if (!requireNumber(kv.second, field, err,
+                               "histogram " + kv.first))
+                return false;
+    }
+    return true;
+}
+
+bool
+validateTraceJsonl(const std::string &text, std::string *err)
+{
+    std::istringstream is(text);
+    std::string line;
+    std::size_t lineno = 0;
+    bool saw_header = false;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        const JsonParseResult r = parseJson(line);
+        if (!r.ok)
+            return failWith(err, "line " + std::to_string(lineno) +
+                                     ": " + r.error);
+        if (!r.value.isObject())
+            return failWith(err, "line " + std::to_string(lineno) +
+                                     ": not an object");
+        const JsonValue *kind = r.value.find("kind");
+        if (kind == nullptr || !kind->isString())
+            return failWith(err, "line " + std::to_string(lineno) +
+                                     ": missing 'kind'");
+        if (lineno == 1) {
+            if (kind->asString() != "header")
+                return failWith(err, "first line is not the header");
+            const JsonValue *schema = r.value.find("schema");
+            if (schema == nullptr || !schema->isString() ||
+                schema->asString() != "pimhe-trace-jsonl/v1")
+                return failWith(err, "wrong JSONL schema tag");
+            saw_header = true;
+        }
+    }
+    if (!saw_header)
+        return failWith(err, "empty stream (no header line)");
+    return true;
+}
+
+bool
+validateBenchJson(const std::string &text, std::string *err)
+{
+    const JsonParseResult r = parseJson(text);
+    if (!r.ok)
+        return failWith(err, "not valid JSON: " + r.error);
+    if (!r.value.isObject())
+        return failWith(err, "top level is not an object");
+    const JsonValue *schema = r.value.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "pimhe-bench/v1")
+        return failWith(err, "missing or wrong schema tag");
+    if (!requireString(r.value, "bench", err, "report") ||
+        !requireString(r.value, "experiment", err, "report") ||
+        !requireString(r.value, "title", err, "report") ||
+        !requireNumber(r.value, "repetitions", err, "report") ||
+        !requireNumber(r.value, "warmup", err, "report"))
+        return false;
+    const JsonValue *tables = r.value.find("tables");
+    if (tables == nullptr || !tables->isArray())
+        return failWith(err, "missing tables array");
+    for (const JsonValue &t : tables->items()) {
+        if (!t.isObject() || t.find("header") == nullptr ||
+            !t.find("header")->isArray() ||
+            t.find("rows") == nullptr || !t.find("rows")->isArray())
+            return failWith(err, "malformed table entry");
+        const std::size_t width = t.find("header")->items().size();
+        for (const JsonValue &row : t.find("rows")->items())
+            if (!row.isArray() || row.items().size() != width)
+                return failWith(err, "table row width mismatch");
+    }
+    const JsonValue *series = r.value.find("series");
+    if (series == nullptr || !series->isObject())
+        return failWith(err, "missing series object");
+    for (const auto &kv : series->members()) {
+        const std::string where = "series " + kv.first;
+        if (!kv.second.isObject())
+            return failWith(err, where + ": not an object");
+        for (const char *field : {"p50", "p95", "min", "max", "mean"})
+            if (!requireNumber(kv.second, field, err, where))
+                return false;
+        const JsonValue *values = kv.second.find("values");
+        if (values == nullptr || !values->isArray() ||
+            values->items().empty())
+            return failWith(err, where + ": missing values");
+    }
+    const JsonValue *checks = r.value.find("band_checks");
+    if (checks == nullptr || !checks->isArray())
+        return failWith(err, "missing band_checks array");
+    for (const JsonValue &c : checks->items()) {
+        if (!c.isObject() ||
+            !requireString(c, "label", err, "band check") ||
+            !requireNumber(c, "value", err, "band check") ||
+            !requireNumber(c, "lo", err, "band check") ||
+            !requireNumber(c, "hi", err, "band check"))
+            return false;
+        const JsonValue *pass = c.find("pass");
+        if (pass == nullptr || !pass->isBool())
+            return failWith(err, "band check missing bool 'pass'");
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace pimhe

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reporters for the observability layer: console scrape, JSON
+ * snapshot writer and the schema validators CI and the tests use to
+ * keep every emitted artifact machine-readable.
+ *
+ * Schemas (all carry an explicit version tag):
+ *  - "pimhe-metrics/v1":      metrics snapshot JSON
+ *  - "pimhe-chrome-trace/v1": Chrome trace-event JSON
+ *  - "pimhe-trace-jsonl/v1":  compact JSONL span stream
+ *  - "pimhe-bench/v1":        BENCH_<name>.json bench reports
+ */
+
+#ifndef PIMHE_OBS_REPORT_H
+#define PIMHE_OBS_REPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace pimhe {
+namespace obs {
+
+/** Pretty console scrape (common/table formatting). */
+void printSnapshot(const Snapshot &snap, std::ostream &os);
+
+/** Serialise a snapshot as schema-versioned JSON. */
+std::string snapshotToJson(const Snapshot &snap);
+
+/** Write `content` to `path`; false + message on failure. */
+bool writeFile(const std::string &path, const std::string &content,
+               std::string *err);
+
+/** Read an entire file; false + message on failure. */
+bool readFile(const std::string &path, std::string *out,
+              std::string *err);
+
+/**
+ * Validate a Chrome trace export: parses as JSON, has the schema tag
+ * and a traceEvents array, every event carries name/ph/pid/tid, B/E
+ * timestamps are monotonically non-decreasing in file order, and
+ * every (pid, tid) lane's B/E events match like parentheses with
+ * identical names. Returns false with a diagnostic on any violation.
+ */
+bool validateChromeTraceJson(const std::string &text,
+                             std::string *err);
+
+/** Validate a metrics snapshot JSON document. */
+bool validateMetricsJson(const std::string &text, std::string *err);
+
+/** Validate a JSONL trace stream (header line + one object/line). */
+bool validateTraceJsonl(const std::string &text, std::string *err);
+
+/** Validate a BENCH_<name>.json bench report. */
+bool validateBenchJson(const std::string &text, std::string *err);
+
+} // namespace obs
+} // namespace pimhe
+
+#endif // PIMHE_OBS_REPORT_H

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "pim/checker.h"
 #include "pim/config.h"
 #include "pim/stats.h"
@@ -471,10 +472,59 @@ class Dpu
             tasklet_bound = std::max(tasklet_bound, own);
         }
         stats.cycles = std::max(issue_bound, tasklet_bound);
+        recordRunMetrics(stats);
         return stats;
     }
 
   private:
+    /**
+     * Feed the metrics registry. Runs on whichever host thread
+     * simulates this DPU, so only integer counters are recorded here:
+     * their merges are order-independent and the scrape stays
+     * bit-identical at any host thread count. Modelled double metrics
+     * (kernel ms, transfer ms) are recorded by DpuSet::launch after
+     * the join, on the deterministic single-threaded path.
+     */
+    static void
+    recordRunMetrics(const DpuRunStats &stats)
+    {
+        obs::Registry &reg = obs::Registry::global();
+        if (!reg.enabled())
+            return;
+        static obs::Counter runs = reg.counter("pim.dpu.runs");
+        static obs::Counter instructions =
+            reg.counter("pim.dpu.instructions");
+        static obs::Counter dma_transfers =
+            reg.counter("pim.dpu.dma.transfers");
+        static obs::Counter dma_bytes =
+            reg.counter("pim.dpu.dma.bytes");
+        static obs::Counter dma_stall_cycles =
+            reg.counter("pim.dpu.dma.stall_cycles");
+        static obs::Counter checker_accesses =
+            reg.counter("pim.checker.accesses");
+        static obs::Counter checker_conflicts =
+            reg.counter("pim.checker.conflicts");
+        static obs::Counter checker_suppressed =
+            reg.counter("pim.checker.suppressed");
+
+        std::uint64_t transfers = 0;
+        std::uint64_t bytes = 0;
+        double stalls = 0;
+        for (const auto &ts : stats.tasklets) {
+            transfers += ts.dmaTransfers;
+            bytes += ts.dmaBytes;
+            stalls += ts.dmaStallCycles;
+        }
+        runs.add(1);
+        instructions.add(stats.totalInstructions());
+        dma_transfers.add(transfers);
+        dma_bytes.add(bytes);
+        dma_stall_cycles.add(static_cast<std::uint64_t>(stalls));
+        checker_accesses.add(stats.conflicts.accessesRecorded);
+        checker_conflicts.add(stats.conflicts.totalConflicts);
+        checker_suppressed.add(stats.conflicts.suppressedConflicts);
+    }
+
     DpuConfig cfg_;
     Wram wram_;
     Mram mram_;

@@ -13,6 +13,8 @@
 #include "analysis/verifier.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pim/dpu.h"
 
 namespace pimhe {
@@ -73,6 +75,7 @@ class DpuSet
         dpuAt(dpu).mram().write(addr, bytes.data(), bytes.size());
         pendingUploadBytes_ += bytes.size();
         uploadDpusTouched_ += 1;
+        recordUpload(bytes.size());
     }
 
     /**
@@ -93,6 +96,30 @@ class DpuSet
             preLaunchDownloadMs_ += ms;
         else
             launches_.back().dpuToHostMs += ms;
+
+        obs::Registry &reg = obs::Registry::global();
+        if (reg.enabled()) {
+            static obs::Counter d2h_bytes =
+                reg.counter("pim.xfer.d2h.bytes");
+            static obs::Counter d2h_copies =
+                reg.counter("pim.xfer.d2h.copies");
+            d2h_bytes.add(bytes.size());
+            d2h_copies.add(1);
+        }
+        obs::Tracer &tracer = obs::Tracer::global();
+        if (tracer.enabled() && ms > 0) {
+            obs::TraceSpan s;
+            s.pid = obs::Tracer::kModelPid;
+            s.tid = 0;
+            s.name = launches_.empty() ? "pre-launch d2h" : "d2h";
+            s.beginUs = modelCursorUs_;
+            s.endUs = modelCursorUs_ + ms * 1e3;
+            s.numArgs = {
+                {"bytes", static_cast<double>(bytes.size())},
+                {"dpu", static_cast<double>(dpu)}};
+            tracer.recordSpan(std::move(s));
+        }
+        modelCursorUs_ += ms * 1e3;
     }
 
     /** Broadcast the same bytes into every DPU's MRAM. */
@@ -105,6 +132,7 @@ class DpuSet
         // Broadcast is a single parallel transfer on the bus.
         pendingUploadBytes_ += bytes.size();
         uploadDpusTouched_ += dpus_.size();
+        recordUpload(bytes.size());
     }
 
     /**
@@ -117,6 +145,9 @@ class DpuSet
     const LaunchStats &
     launch(unsigned num_tasklets, const Kernel &kernel)
     {
+        obs::Tracer &tracer = obs::Tracer::global();
+        obs::ScopedSpan host_span(tracer, 0, "DpuSet::launch");
+
         LaunchStats stats;
         stats.launchOverheadMs = cfg_.launchOverheadUs / 1e3;
         stats.hostToDpuMs = transferMs(
@@ -130,9 +161,12 @@ class DpuSet
         stats.hostThreads = pool_->threadCount();
         Timer wall;
         pool_->parallelFor(dpus_.size(), [&](std::size_t i) {
+            obs::ScopedSpan dpu_span(tracer, i + 1, "dpu.run");
             stats.dpus[i] =
                 dpus_[i]->run(num_tasklets, kernel,
                               /*defer_fail_fast=*/true);
+            dpu_span.arg("dpu", static_cast<double>(i));
+            dpu_span.arg("cycles", stats.dpus[i].cycles);
         });
         stats.hostWallMs = wall.elapsedMs();
 
@@ -144,6 +178,11 @@ class DpuSet
                 std::max(stats.maxCycles, stats.dpus[i].cycles);
         }
         stats.kernelMs = stats.maxCycles / (cfg_.dpu.clockMhz * 1e3);
+
+        host_span.arg("tasklets", static_cast<double>(num_tasklets));
+        host_span.arg("dpus", static_cast<double>(dpus_.size()));
+        host_span.arg("kernel_ms", stats.kernelMs);
+        recordLaunchObservability(stats, num_tasklets);
         launches_.push_back(std::move(stats));
         return launches_.back();
     }
@@ -165,6 +204,29 @@ class DpuSet
             const analysis::LaunchVerifier verifier(cfg_.dpu);
             lastVerify_ = verifier.verify(footprint, num_tasklets);
             hasVerify_ = true;
+
+            obs::Registry &reg = obs::Registry::global();
+            if (reg.enabled()) {
+                static obs::Counter verified =
+                    reg.counter("pim.verify.launches");
+                static obs::Counter violations =
+                    reg.counter("pim.verify.violations");
+                verified.add(1);
+                violations.add(lastVerify_.violations.size());
+            }
+            obs::Tracer &tracer = obs::Tracer::global();
+            if (tracer.enabled()) {
+                obs::TraceInstant mark;
+                mark.pid = obs::Tracer::kHostPid;
+                mark.tid = 0;
+                mark.name = "verify";
+                mark.tsUs = tracer.nowUs();
+                mark.strArgs = {
+                    {"kernel", footprint.kernel},
+                    {"ok", lastVerify_.ok() ? "true" : "false"}};
+                tracer.recordInstant(std::move(mark));
+            }
+
             if (!lastVerify_.ok())
                 panic("pre-launch verification rejected kernel '",
                       footprint.kernel, "':\n", lastVerify_.summary());
@@ -224,6 +286,91 @@ class DpuSet
     }
 
   private:
+    /** Integer upload metrics shared by copyToMram / broadcast. */
+    void
+    recordUpload(std::uint64_t bytes)
+    {
+        obs::Registry &reg = obs::Registry::global();
+        if (!reg.enabled())
+            return;
+        static obs::Counter h2d_bytes =
+            reg.counter("pim.xfer.h2d.bytes");
+        static obs::Counter h2d_copies =
+            reg.counter("pim.xfer.h2d.copies");
+        h2d_bytes.add(bytes);
+        h2d_copies.add(1);
+    }
+
+    /**
+     * Post-join observability for one launch. Runs single-threaded
+     * after aggregation, so the modelled double metrics it records
+     * (kernel/transfer ms histograms, modelled-track trace spans) are
+     * identical at any host thread count; the host-wall histogram is
+     * namespaced under "host." and excluded from determinism
+     * comparisons. The modelled-time cursor advances by exactly the
+     * phases totalModeledMs() accounts for, so the modelled track of
+     * the trace lays launches end to end on the simulated timeline.
+     */
+    void
+    recordLaunchObservability(const LaunchStats &stats,
+                              unsigned num_tasklets)
+    {
+        obs::Registry &reg = obs::Registry::global();
+        if (reg.enabled()) {
+            static obs::Counter launches = reg.counter("pim.launch.count");
+            static obs::Histogram kernel_ms =
+                reg.histogram("pim.launch.kernel_ms");
+            static obs::Histogram h2d_ms =
+                reg.histogram("pim.launch.h2d_ms");
+            static obs::Histogram max_cycles =
+                reg.histogram("pim.launch.max_cycles");
+            static obs::Histogram wall_ms =
+                reg.histogram("host.launch.wall_ms");
+            launches.add(1);
+            // Per-tasklet-count occupancy, e.g. pim.launch.tasklets.11.
+            reg.counter("pim.launch.tasklets." +
+                        std::to_string(num_tasklets))
+                .add(1);
+            kernel_ms.observe(stats.kernelMs);
+            h2d_ms.observe(stats.hostToDpuMs);
+            max_cycles.observe(stats.maxCycles);
+            wall_ms.observe(stats.hostWallMs);
+        }
+
+        obs::Tracer &tracer = obs::Tracer::global();
+        const double h2d_us = stats.hostToDpuMs * 1e3;
+        const double kernel_us = stats.kernelMs * 1e3;
+        const double overhead_us = stats.launchOverheadMs * 1e3;
+        if (tracer.enabled()) {
+            const double begin = modelCursorUs_;
+            auto model_span = [&](const char *name, double b, double e) {
+                obs::TraceSpan s;
+                s.pid = obs::Tracer::kModelPid;
+                s.tid = 0;
+                s.name = name;
+                s.beginUs = b;
+                s.endUs = e;
+                return s;
+            };
+            obs::TraceSpan launch_span = model_span(
+                "launch", begin,
+                begin + h2d_us + kernel_us + overhead_us);
+            launch_span.numArgs = {
+                {"tasklets", static_cast<double>(num_tasklets)},
+                {"dpus", static_cast<double>(dpus_.size())},
+                {"max_cycles", stats.maxCycles}};
+            tracer.recordSpan(std::move(launch_span));
+            if (h2d_us > 0)
+                tracer.recordSpan(
+                    model_span("h2d", begin, begin + h2d_us));
+            if (kernel_us > 0)
+                tracer.recordSpan(model_span("kernel", begin + h2d_us,
+                                             begin + h2d_us +
+                                                 kernel_us));
+        }
+        modelCursorUs_ += h2d_us + kernel_us + overhead_us;
+    }
+
     /**
      * Time for a host transfer touching `dpus_involved` DPUs: each
      * DPU link sustains ~0.33 GB/s, the bus saturates at the
@@ -249,6 +396,8 @@ class DpuSet
     std::uint64_t pendingUploadBytes_ = 0;
     std::size_t uploadDpusTouched_ = 0;
     double preLaunchDownloadMs_ = 0;
+    /** Modelled-time trace cursor (µs); tracks totalModeledMs(). */
+    double modelCursorUs_ = 0;
     analysis::VerifyReport lastVerify_;
     bool hasVerify_ = false;
 };

@@ -142,6 +142,21 @@ class PimHeSystem
     {
         PIMHE_ASSERT(a.size() == b.size() && !a.empty(),
                      "operand vectors must be equal-length, non-empty");
+        obs::Tracer &tracer = obs::Tracer::global();
+        obs::ScopedSpan op_span(tracer, 0,
+                                multiply ? "pimhe.vec_mul"
+                                         : "pimhe.vec_add");
+        op_span.arg("cts", static_cast<double>(a.size()));
+        {
+            obs::Registry &reg = obs::Registry::global();
+            if (reg.enabled()) {
+                static obs::Counter adds =
+                    reg.counter("pimhe.ops.vec_add");
+                static obs::Counter muls =
+                    reg.counter("pimhe.ops.vec_mul");
+                (multiply ? muls : adds).add(1);
+            }
+        }
         const std::size_t n = ctx_.ring().degree();
         const std::size_t comps = a.front().size();
         for (std::size_t i = 0; i < a.size(); ++i)
@@ -174,17 +189,22 @@ class PimHeSystem
         // Stage operands: flatten every DPU's slice concurrently into
         // disjoint regions of one buffer, then issue the MRAM copies
         // in DPU order so transfer accounting stays deterministic.
-        std::vector<std::uint8_t> abuf(num_dpus * arr_bytes);
-        std::vector<std::uint8_t> bbuf(num_dpus * arr_bytes);
-        dpus_.hostPool().parallelFor(num_dpus, [&](std::size_t d) {
-            flattenSlice(a, d * per_dpu, per_dpu,
-                         sliceOf(abuf, d, arr_bytes));
-            flattenSlice(b, d * per_dpu, per_dpu,
-                         sliceOf(bbuf, d, arr_bytes));
-        });
-        for (std::size_t d = 0; d < num_dpus; ++d) {
-            dpus_.copyToMram(d, kp.mramA, sliceOf(abuf, d, arr_bytes));
-            dpus_.copyToMram(d, kp.mramB, sliceOf(bbuf, d, arr_bytes));
+        {
+            obs::ScopedSpan stage_span(tracer, 0, "pimhe.stage");
+            std::vector<std::uint8_t> abuf(num_dpus * arr_bytes);
+            std::vector<std::uint8_t> bbuf(num_dpus * arr_bytes);
+            dpus_.hostPool().parallelFor(num_dpus, [&](std::size_t d) {
+                flattenSlice(a, d * per_dpu, per_dpu,
+                             sliceOf(abuf, d, arr_bytes));
+                flattenSlice(b, d * per_dpu, per_dpu,
+                             sliceOf(bbuf, d, arr_bytes));
+            });
+            for (std::size_t d = 0; d < num_dpus; ++d) {
+                dpus_.copyToMram(d, kp.mramA,
+                                 sliceOf(abuf, d, arr_bytes));
+                dpus_.copyToMram(d, kp.mramB,
+                                 sliceOf(bbuf, d, arr_bytes));
+            }
         }
 
         dpus_.launch(tasklets_,
@@ -197,6 +217,7 @@ class PimHeSystem
         // Collect results: download in DPU order (accounting), then
         // unflatten concurrently — each DPU's flat element range maps
         // to disjoint output coefficients.
+        obs::ScopedSpan collect_span(tracer, 0, "pimhe.collect");
         std::vector<Ciphertext<N>> out(a.size());
         for (auto &ct : out)
             for (std::size_t cidx = 0; cidx < comps; ++cidx)
@@ -295,6 +316,17 @@ class PimConvolver : public ExactConvolver<N>
                      const Polynomial<N> &b) const override
     {
         const std::size_t n = ring_.degree();
+        obs::ScopedSpan op_span(obs::Tracer::global(), 0,
+                                "pimhe.convolve");
+        op_span.arg("n", static_cast<double>(n));
+        {
+            obs::Registry &reg = obs::Registry::global();
+            if (reg.enabled()) {
+                static obs::Counter convs =
+                    reg.counter("pimhe.ops.convolve");
+                convs.add(1);
+            }
+        }
         pimhe_kernels::ConvKernelParams kp;
         kp.n = static_cast<std::uint32_t>(n);
         kp.limbs = N;

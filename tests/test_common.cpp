@@ -206,6 +206,46 @@ TEST(Stats, GeomeanRequiresPositive)
     EXPECT_DEATH(geomean(xs), "positive");
 }
 
+TEST(Percentile, NearestRankOnKnownSample)
+{
+    // Classic nearest-rank example: 5 samples, p30 -> 2nd value.
+    const std::vector<double> xs = {15, 20, 35, 40, 50};
+    EXPECT_DOUBLE_EQ(percentile(xs, 30), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 40), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 35.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+    // Any p <= 100/n selects the minimum.
+    EXPECT_DOUBLE_EQ(percentile(xs, 1), 15.0);
+}
+
+TEST(Percentile, ShorthandsMatchPercentile)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(p50(xs), 50.0);
+    EXPECT_DOUBLE_EQ(p95(xs), 95.0);
+    EXPECT_DOUBLE_EQ(p99(xs), 99.0);
+    EXPECT_DOUBLE_EQ(p50(xs), percentile(xs, 50));
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile)
+{
+    const std::vector<double> xs = {7.5};
+    EXPECT_DOUBLE_EQ(percentile(xs, 1), 7.5);
+    EXPECT_DOUBLE_EQ(p50(xs), 7.5);
+    EXPECT_DOUBLE_EQ(p99(xs), 7.5);
+}
+
+TEST(Percentile, RejectsEmptyAndOutOfRange)
+{
+    const std::vector<double> empty;
+    EXPECT_DEATH(percentile(empty, 50), "empty");
+    const std::vector<double> xs = {1, 2, 3};
+    EXPECT_DEATH(percentile(xs, 0), "out of");
+    EXPECT_DEATH(percentile(xs, 101), "out of");
+}
+
 TEST(Timer, MeasuresElapsedTime)
 {
     Timer t;

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * pim_profile — observability driver for the simulated PIM-HE stack.
+ *
+ * Runs BFV homomorphic vector add and/or coefficient-wise multiply
+ * through PimHeSystem with the metrics registry and the trace
+ * recorder armed, then emits every artifact the observability layer
+ * knows how to produce:
+ *
+ *  - console scrape of the metrics snapshot (common/table),
+ *  - pim_profile_metrics.json   ("pimhe-metrics/v1"),
+ *  - pim_profile_trace.json     ("pimhe-chrome-trace/v1",
+ *                                loads in Perfetto / chrome://tracing),
+ *  - pim_profile_trace.jsonl    ("pimhe-trace-jsonl/v1").
+ *
+ * Every emitted file is re-validated with the obs schema validators
+ * before exit, so a non-zero status means a malformed artifact —
+ * which is what CI's `pim_profile --smoke` run checks.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bfv/context.h"
+#include "bfv/encryptor.h"
+#include "bfv/keys.h"
+#include "bfv/params.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "pimhe/orchestrator.h"
+
+namespace {
+
+using namespace pimhe;
+
+constexpr std::size_t kLimbs = 4; // 128-bit width, the paper's headline
+
+struct ProfileConfig
+{
+    std::string op = "both"; // add | mul | both
+    std::string outDir = ".";
+    std::size_t cts = 8;
+    std::size_t degree = 64;
+    std::size_t dpus = 4;
+    unsigned tasklets = 12;
+};
+
+/** Join an output directory and a file name. */
+std::string
+joinPath(const std::string &dir, const std::string &file)
+{
+    if (dir.empty() || dir == ".")
+        return file;
+    if (dir.back() == '/')
+        return dir + file;
+    return dir + "/" + file;
+}
+
+/** Write + immediately re-validate one artifact; false on failure. */
+bool
+emit(const std::string &path, const std::string &content,
+     bool (*validate)(const std::string &, std::string *))
+{
+    std::string err;
+    if (!obs::writeFile(path, content, &err)) {
+        std::cerr << "pim_profile: write failed: " << err << "\n";
+        return false;
+    }
+    if (!validate(content, &err)) {
+        std::cerr << "pim_profile: " << path
+                  << " failed schema validation: " << err << "\n";
+        return false;
+    }
+    std::cout << "wrote " << path << " (" << content.size()
+              << " bytes, schema OK)\n";
+    return true;
+}
+
+int
+runProfile(const ProfileConfig &pc)
+{
+    obs::Registry &reg = obs::Registry::global();
+    obs::Tracer &tracer = obs::Tracer::global();
+    reg.setEnabled(true);
+    tracer.setEnabled(true);
+    tracer.captureLogging();
+    reg.reset();
+    tracer.clear();
+
+    // BFV setup at the requested (reduced) ring degree.
+    const BfvParams<kLimbs> params =
+        standardParams<kLimbs>().withDegree(pc.degree);
+    const BfvContext<kLimbs> ctx(params);
+    Rng rng(0xC0FFEE5EED);
+    KeyGenerator<kLimbs> keygen(ctx, rng);
+    const PublicKey<kLimbs> pk = keygen.makePublicKey();
+    Encryptor<kLimbs> enc(ctx, pk, rng);
+    IntegerEncoder encoder(params.t, params.n);
+
+    pim::SystemConfig cfg = pim::paperSystem();
+    cfg.numDpus = pc.dpus;
+    cfg.verifyBeforeLaunch = true;
+    PimHeSystem<kLimbs> pimsys(ctx, cfg, pc.dpus, pc.tasklets);
+
+    std::vector<Ciphertext<kLimbs>> as, bs;
+    for (std::size_t i = 0; i < pc.cts; ++i) {
+        as.push_back(enc.encrypt(encoder.encodeScalar(i + 1)));
+        bs.push_back(enc.encrypt(encoder.encodeScalar(2 * i + 1)));
+    }
+
+    std::cout << "profiling BFV " << pc.op << ": " << pc.cts
+              << " ciphertexts, degree " << pc.degree << ", "
+              << pc.dpus << " DPUs, " << pc.tasklets
+              << " tasklets\n\n";
+
+    if (pc.op == "add" || pc.op == "both")
+        (void)pimsys.addCiphertextVectors(as, bs);
+    if (pc.op == "mul" || pc.op == "both")
+        (void)pimsys.mulCoefficientwise(as, bs);
+
+    const pim::DpuSet &set = pimsys.dpuSet();
+    std::cout << "modelled time: " << set.totalModeledMs()
+              << " ms across " << set.launches().size()
+              << " launch(es)\n\n";
+
+    // Console scrape.
+    const obs::Snapshot snap = reg.scrape();
+    obs::printSnapshot(snap, std::cout);
+
+    // Artifacts, each re-validated after the write.
+    bool ok = true;
+    ok &= emit(joinPath(pc.outDir, "pim_profile_metrics.json"),
+               obs::snapshotToJson(snap), obs::validateMetricsJson);
+
+    std::ostringstream chrome;
+    tracer.writeChromeTrace(chrome);
+    ok &= emit(joinPath(pc.outDir, "pim_profile_trace.json"),
+               chrome.str(), obs::validateChromeTraceJson);
+
+    std::ostringstream jsonl;
+    tracer.writeJsonl(jsonl);
+    ok &= emit(joinPath(pc.outDir, "pim_profile_trace.jsonl"),
+               jsonl.str(), obs::validateTraceJsonl);
+
+    if (!ok)
+        return 1;
+    std::cout << "\npim_profile: " << snap.counters.size()
+              << " counters, " << snap.histograms.size()
+              << " histograms, " << tracer.spanCount()
+              << " trace spans — all artifacts valid\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv,
+                 {"op", "cts", "degree", "dpus", "tasklets", "out",
+                  "smoke", "help"});
+    if (args.getBool("help", false)) {
+        std::cout
+            << "usage: pim_profile [--op add|mul|both] [--cts N]\n"
+            << "                   [--degree N] [--dpus N]\n"
+            << "                   [--tasklets N] [--out DIR]\n"
+            << "                   [--smoke]\n"
+            << "Profiles BFV vector ops on the simulated PIM system\n"
+            << "and emits metrics + Chrome-trace artifacts.\n";
+        return 0;
+    }
+
+    ProfileConfig pc;
+    if (args.getBool("smoke", false)) {
+        // CI-sized run: seconds, not minutes, on one core.
+        pc.cts = 4;
+        pc.degree = 32;
+        pc.dpus = 2;
+        pc.tasklets = 8;
+    }
+    pc.op = args.getString("op", pc.op);
+    pc.outDir = args.getString("out", pc.outDir);
+    pc.cts = static_cast<std::size_t>(
+        args.getInt("cts", static_cast<std::int64_t>(pc.cts)));
+    pc.degree = static_cast<std::size_t>(
+        args.getInt("degree", static_cast<std::int64_t>(pc.degree)));
+    pc.dpus = static_cast<std::size_t>(
+        args.getInt("dpus", static_cast<std::int64_t>(pc.dpus)));
+    pc.tasklets = static_cast<unsigned>(
+        args.getInt("tasklets", pc.tasklets));
+
+    if (pc.op != "add" && pc.op != "mul" && pc.op != "both") {
+        std::cerr << "pim_profile: --op must be add, mul or both\n";
+        return 2;
+    }
+    return runProfile(pc);
+}
