@@ -140,6 +140,24 @@ struct KernelFootprint
     }
 };
 
+/**
+ * Contiguous [begin, end) row range of shard `idx` when `total` rows
+ * are split across `shards` workers: the first `total % shards` shards
+ * take one extra row, so shard 0 is always a widest shard — which the
+ * multi-DPU footprint builders rely on to bound every shard's regions
+ * with a single declaration.
+ */
+inline std::pair<std::uint32_t, std::uint32_t>
+rowShardRange(std::uint32_t total, std::uint32_t shards,
+              std::uint32_t idx)
+{
+    const std::uint32_t base = total / shards;
+    const std::uint32_t extra = total % shards;
+    const std::uint32_t begin = idx * base + (idx < extra ? idx : extra);
+    const std::uint32_t count = base + (idx < extra ? 1 : 0);
+    return {begin, begin + count};
+}
+
 /** Largest power of two dividing addr (capped at `cap`), used by the
  *  footprint builders to derive guaranteed DMA address alignment. */
 inline std::uint64_t

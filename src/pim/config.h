@@ -105,6 +105,14 @@ struct SystemConfig
      */
     bool verifyBeforeLaunch = false;
 
+    /**
+     * Per-DPU MRAM budget the resident ciphertext cache may manage
+     * (see pimhe/resident.h). 0 means the whole MRAM bank. Tests set
+     * tiny values to force LRU eviction churn; real runs leave the
+     * default. Clamped to dpu.mramBytes.
+     */
+    std::uint64_t residentCapacityBytes = 0;
+
     /** Total PIM-enabled memory capacity in bytes (158 GB). */
     double
     totalMemoryBytes() const

@@ -106,6 +106,45 @@ struct LaunchStats
     }
 };
 
+/**
+ * Lifetime host<->DPU transfer accounting for one DpuSet, split into
+ * per-direction buckets so benches can report exactly how many bytes
+ * an orchestration strategy moved — and how many it *avoided* moving
+ * by reusing MRAM-resident operands. All fields are modelled values
+ * driven by the sequential accounting path, so they are bit-identical
+ * at any host thread count.
+ */
+struct TransferTotals
+{
+    std::uint64_t uploads = 0;         //!< copyToMram/broadcast calls
+    std::uint64_t downloads = 0;       //!< copyFromMram calls
+    std::uint64_t uploadedBytes = 0;   //!< host->DPU bytes (bus view)
+    std::uint64_t downloadedBytes = 0; //!< DPU->host bytes
+
+    /** Bytes an operation would have re-uploaded but found already
+     *  resident in MRAM (reported by the resident ciphertext cache). */
+    std::uint64_t residentBytesReused = 0;
+
+    double uploadModeledMs = 0;   //!< sum of launches' hostToDpuMs
+    double downloadModeledMs = 0; //!< post-launch download time
+    double preLaunchDownloadMs = 0;
+
+    /** Total bytes that actually crossed the host<->DPU bus. */
+    std::uint64_t
+    busBytes() const
+    {
+        return uploadedBytes + downloadedBytes;
+    }
+
+    /** Total modelled transfer time across all buckets. */
+    double
+    totalModeledMs() const
+    {
+        return uploadModeledMs + downloadModeledMs +
+               preLaunchDownloadMs;
+    }
+};
+
 } // namespace pim
 } // namespace pimhe
 

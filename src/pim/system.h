@@ -75,6 +75,8 @@ class DpuSet
         dpuAt(dpu).mram().write(addr, bytes.data(), bytes.size());
         pendingUploadBytes_ += bytes.size();
         uploadDpusTouched_ += 1;
+        xfer_.uploads += 1;
+        xfer_.uploadedBytes += bytes.size();
         recordUpload(bytes.size());
     }
 
@@ -92,10 +94,15 @@ class DpuSet
         dpuAt(dpu).mram().read(addr, bytes.data(), bytes.size());
         const double ms =
             transferMs(bytes.size(), 1, cfg_.dpuToHostGbps);
-        if (launches_.empty())
+        xfer_.downloads += 1;
+        xfer_.downloadedBytes += bytes.size();
+        if (launches_.empty()) {
             preLaunchDownloadMs_ += ms;
-        else
+            xfer_.preLaunchDownloadMs += ms;
+        } else {
             launches_.back().dpuToHostMs += ms;
+            xfer_.downloadModeledMs += ms;
+        }
 
         obs::Registry &reg = obs::Registry::global();
         if (reg.enabled()) {
@@ -132,8 +139,30 @@ class DpuSet
         // Broadcast is a single parallel transfer on the bus.
         pendingUploadBytes_ += bytes.size();
         uploadDpusTouched_ += dpus_.size();
+        xfer_.uploads += 1;
+        xfer_.uploadedBytes += bytes.size();
         recordUpload(bytes.size());
     }
+
+    /**
+     * Record that `bytes` of operand data were found already resident
+     * in MRAM and did not need re-uploading. Called by the resident
+     * ciphertext cache on a hit; pure accounting, no data movement.
+     */
+    void
+    noteResidentReuse(std::uint64_t bytes)
+    {
+        xfer_.residentBytesReused += bytes;
+        obs::Registry &reg = obs::Registry::global();
+        if (reg.enabled()) {
+            static obs::Counter reused =
+                reg.counter("pim.xfer.resident.bytes_reused");
+            reused.add(bytes);
+        }
+    }
+
+    /** Lifetime transfer accounting for this set (see TransferTotals). */
+    const TransferTotals &transferTotals() const { return xfer_; }
 
     /**
      * Run the kernel with `num_tasklets` tasklets on every DPU and
@@ -154,6 +183,7 @@ class DpuSet
             pendingUploadBytes_,
             uploadDpusTouched_ == 0 ? 1 : uploadDpusTouched_,
             cfg_.hostToDpuGbps);
+        xfer_.uploadModeledMs += stats.hostToDpuMs;
         pendingUploadBytes_ = 0;
         uploadDpusTouched_ = 0;
 
@@ -396,6 +426,7 @@ class DpuSet
     std::uint64_t pendingUploadBytes_ = 0;
     std::size_t uploadDpusTouched_ = 0;
     double preLaunchDownloadMs_ = 0;
+    TransferTotals xfer_;
     /** Modelled-time trace cursor (µs); tracks totalModeledMs(). */
     double modelCursorUs_ = 0;
     analysis::VerifyReport lastVerify_;

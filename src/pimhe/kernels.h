@@ -47,13 +47,16 @@ struct VecKernelParams
 };
 
 /**
- * Bytes of WRAM one tasklet may use per staging buffer (three buffers
- * live at once: A chunk, B chunk, OUT chunk).
+ * Bytes of WRAM one tasklet may use per staging buffer. The
+ * elementwise kernels keep three buffers live at once (A chunk,
+ * B chunk, OUT chunk); the fused add->mul kernel keeps four.
  */
 inline std::uint32_t
-wramChunkBytes(const pim::DpuConfig &cfg, unsigned num_tasklets)
+wramChunkBytes(const pim::DpuConfig &cfg, unsigned num_tasklets,
+               unsigned num_buffers = 3)
 {
-    const std::size_t budget = cfg.wramBytes / (3 * num_tasklets);
+    const std::size_t budget =
+        cfg.wramBytes / (num_buffers * num_tasklets);
     std::uint32_t bytes = 8;
     while (bytes * 2 <= budget && bytes * 2 <= 2048)
         bytes *= 2;
@@ -239,6 +242,145 @@ vecKernelFootprint(const VecKernelParams &p, const pim::DpuConfig &cfg,
     return fp;
 }
 
+/**
+ * Footprint of an in-place reduction round: the vector-add kernel run
+ * with its output region aliased onto operand A (p.mramOut == p.mramA),
+ * as issued by PimHeSystem::reduceResident to fold MRAM-resident
+ * partials without any host round trip. The aliased pair is declared
+ * as a single ReadWrite region so the verifier's cross-region clobber
+ * check still applies between the accumulator and operand B — which a
+ * correct round keeps disjoint by construction (the pair count never
+ * exceeds the fold offset).
+ */
+inline analysis::KernelFootprint
+reduceRoundFootprint(const VecKernelParams &p,
+                     const pim::DpuConfig &cfg, unsigned tasklets)
+{
+    analysis::KernelFootprint fp =
+        vecKernelFootprint(p, cfg, tasklets, /*multiply=*/false);
+    fp.kernel = "vec-add-modq-inplace";
+    const std::uint64_t arr =
+        (static_cast<std::uint64_t>(p.elems) * p.elemBytes() + 7) / 8 *
+        8;
+    fp.mramRegions = {
+        {"accumulator (in-place)", p.mramA, arr,
+         analysis::Access::ReadWrite},
+        {"operand B", p.mramB, arr, analysis::Access::Read},
+    };
+    return fp;
+}
+
+/** Parameters of the fused elementwise add->mul kernel. */
+struct FusedKernelParams
+{
+    /** Shape/layout of the three operands (mramA/mramB) and the
+     *  result (mramOut); modulus fields as in the plain kernels. */
+    VecKernelParams vec;
+    std::uint64_t mramC = 0; //!< MRAM byte offset of operand C
+};
+
+/**
+ * Fused elementwise kernel: out[i] = ((a[i] + b[i]) mod q * c[i])
+ * mod q in one launch. Chaining the add and mul kernels on resident
+ * operands would cost two launches and an extra MRAM round trip for
+ * the intermediate; fusing keeps the intermediate in registers. Four
+ * WRAM buffers per tasklet (A, B, C, OUT chunks).
+ */
+inline pim::Kernel
+makeVecAddMulModQKernel(FusedKernelParams p)
+{
+    return [p](pim::TaskletCtx &ctx) {
+        const VecKernelParams &v = p.vec;
+        const std::uint32_t elem_bytes = v.elemBytes();
+        const std::uint32_t chunk_bytes =
+            wramChunkBytes(ctx.config(), ctx.numTasklets(), 4);
+        const std::uint32_t chunk_elems =
+            std::max<std::uint32_t>(1, chunk_bytes / elem_bytes);
+
+        const std::uint32_t wbase = ctx.id() * 4 * chunk_bytes;
+        const std::uint32_t wa = wbase;
+        const std::uint32_t wb = wbase + chunk_bytes;
+        const std::uint32_t wc = wbase + 2 * chunk_bytes;
+        const std::uint32_t wo = wbase + 3 * chunk_bytes;
+
+        const auto [begin, end] = alignedTaskletRange(
+            v.elems, elem_bytes, ctx.id(), ctx.numTasklets());
+
+        for (std::uint32_t e = begin; e < end; e += chunk_elems) {
+            const std::uint32_t count =
+                std::min<std::uint32_t>(chunk_elems, end - e);
+            const std::uint32_t bytes =
+                ((count * elem_bytes + 7) / 8) * 8;
+            const std::uint64_t off = std::uint64_t(e) * elem_bytes;
+            ctx.mramRead(v.mramA + off, wa, bytes);
+            ctx.mramRead(v.mramB + off, wb, bytes);
+            ctx.mramRead(p.mramC + off, wc, bytes);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                std::uint32_t a[pim::kMaxLimbs] = {};
+                std::uint32_t b[pim::kMaxLimbs] = {};
+                std::uint32_t c[pim::kMaxLimbs] = {};
+                std::uint32_t sum[pim::kMaxLimbs] = {};
+                std::uint32_t out[pim::kMaxLimbs] = {};
+                for (std::uint32_t l = 0; l < v.limbs; ++l) {
+                    a[l] = ctx.wramLoad32(wa + i * elem_bytes + 4 * l);
+                    b[l] = ctx.wramLoad32(wb + i * elem_bytes + 4 * l);
+                    c[l] = ctx.wramLoad32(wc + i * elem_bytes + 4 * l);
+                }
+                pim::dpuWideAddModQ(ctx, a, b, v.q.data(), sum,
+                                    v.limbs);
+                pim::dpuWideMulModQ(ctx, sum, c, v.q.data(), v.k, v.c,
+                                    out, v.limbs);
+                for (std::uint32_t l = 0; l < v.limbs; ++l)
+                    ctx.wramStore32(wo + i * elem_bytes + 4 * l,
+                                    out[l]);
+                ctx.charge(3); // loop index/branch overhead
+            }
+            ctx.mramWrite(wo, v.mramOut + off, bytes);
+            ctx.charge(5); // chunk loop overhead
+        }
+    };
+}
+
+/** Static resource footprint of the fused add->mul kernel. */
+inline analysis::KernelFootprint
+fusedKernelFootprint(const FusedKernelParams &p,
+                     const pim::DpuConfig &cfg, unsigned tasklets)
+{
+    const VecKernelParams &v = p.vec;
+    analysis::KernelFootprint fp;
+    fp.kernel = "vec-add-mul-fused";
+    fp.minTasklets = 1;
+    fp.maxTasklets = cfg.maxTasklets;
+
+    const std::uint32_t elem_bytes = v.elemBytes();
+    const std::uint32_t chunk =
+        wramChunkBytes(cfg, std::max(1u, tasklets), 4);
+    fp.wramBytesPerTasklet = 4 * chunk;
+
+    const std::uint64_t arr =
+        (static_cast<std::uint64_t>(v.elems) * elem_bytes + 7) / 8 * 8;
+    fp.mramRegions = {
+        {"operand A", v.mramA, arr, analysis::Access::Read},
+        {"operand B", v.mramB, arr, analysis::Access::Read},
+        {"operand C", p.mramC, arr, analysis::Access::Read},
+        {"result", v.mramOut, arr, analysis::Access::Write},
+    };
+
+    const std::uint32_t chunk_elems =
+        std::max<std::uint32_t>(1, chunk / elem_bytes);
+    analysis::DmaPattern dma;
+    dma.name = "chunk staging";
+    dma.minBytes = 8;
+    dma.maxBytes = (chunk_elems * elem_bytes + 7) / 8 * 8;
+    dma.mramAlign = std::min(
+        {analysis::alignmentOf(v.mramA), analysis::alignmentOf(v.mramB),
+         analysis::alignmentOf(p.mramC),
+         analysis::alignmentOf(v.mramOut)});
+    dma.wramAlign = 8;
+    fp.dmaPatterns = {dma};
+    return fp;
+}
+
 /** Parameters of the negacyclic convolution kernel. */
 struct ConvKernelParams
 {
@@ -249,6 +391,30 @@ struct ConvKernelParams
     std::uint32_t limbs = 1;  //!< coefficient limbs
     std::array<std::uint32_t, 4> q{};    //!< modulus limbs
     std::array<std::uint32_t, 4> halfQ{};//!< floor(q/2) limbs
+
+    /** Sentinel for mramMeta: no row-shard metadata, the DPU computes
+     *  all n output coefficients exactly as the original kernel did. */
+    static constexpr std::uint64_t kNoRowMeta = ~0ull;
+
+    /**
+     * MRAM byte offset of an 8-byte row-shard metadata block
+     * {uint32 rowBegin, uint32 rowEnd}, or kNoRowMeta. The same kernel
+     * runs on every DPU of a launch, so per-DPU output ranges travel
+     * through MRAM like any other per-DPU data: the host writes a
+     * different block to each DPU and the kernel reads its own. The
+     * DPU then computes coefficients [rowBegin, rowEnd) and writes
+     * them compactly at mramOut + (m - rowBegin) * accBytes.
+     */
+    std::uint64_t mramMeta = kNoRowMeta;
+
+    /**
+     * Host-side mirror of the widest shard's row range, used only by
+     * convKernelFootprint (a verified launch carries one footprint for
+     * all DPUs, so it must bound the largest shard). Ignored when
+     * mramMeta == kNoRowMeta; rowEnd == 0 means n.
+     */
+    std::uint32_t rowBegin = 0;
+    std::uint32_t rowEnd = 0;
 
     /**
      * Two's-complement accumulator limbs: products span 2*limbs,
@@ -321,15 +487,20 @@ inline pim::Kernel
 makeNegacyclicConvKernel(ConvKernelParams p)
 {
     return [p](pim::TaskletCtx &ctx) {
+        const bool sharded =
+            p.mramMeta != ConvKernelParams::kNoRowMeta;
         const std::uint32_t elem_bytes = p.limbs * 4;
         const std::uint32_t poly_bytes = p.n * elem_bytes;
         const std::uint32_t acc_bytes = p.accLimbs() * 4;
         const std::uint32_t wa = 0;
         const std::uint32_t wb = poly_bytes;
-        // Per-tasklet output staging slot after the shared operands.
-        const std::uint32_t wo =
-            2 * poly_bytes + ctx.id() * acc_bytes;
-        PIMHE_ASSERT(2 * poly_bytes +
+        // Shared row-metadata slot (8 bytes, sharded mode only), then
+        // one output staging slot per tasklet.
+        const std::uint32_t wmeta = 2 * poly_bytes;
+        const std::uint32_t wo = 2 * poly_bytes +
+                                 (sharded ? 8u : 0u) +
+                                 ctx.id() * acc_bytes;
+        PIMHE_ASSERT(2 * poly_bytes + (sharded ? 8u : 0u) +
                              ctx.numTasklets() * acc_bytes <=
                          ctx.config().wramBytes,
                      "polynomials do not fit in WRAM; lower n");
@@ -344,11 +515,21 @@ makeNegacyclicConvKernel(ConvKernelParams p)
                 ctx.mramRead(p.mramA + off, wa + off, bytes);
                 ctx.mramRead(p.mramB + off, wb + off, bytes);
             }
+            if (sharded)
+                ctx.mramRead(p.mramMeta, wmeta, 8);
         }
         ctx.barrier();
 
-        const auto [begin, end] =
-            taskletRange(p.n, ctx.id(), ctx.numTasklets());
+        std::uint32_t row_begin = 0;
+        std::uint32_t row_end = p.n;
+        if (sharded) {
+            row_begin = ctx.wramLoad32(wmeta);
+            row_end = ctx.wramLoad32(wmeta + 4);
+        }
+        const auto [tbegin, tend] = taskletRange(
+            row_end - row_begin, ctx.id(), ctx.numTasklets());
+        const std::uint32_t begin = row_begin + tbegin;
+        const std::uint32_t end = row_begin + tend;
         for (std::uint32_t m = begin; m < end; ++m) {
             std::uint32_t acc[2 * pim::kMaxLimbs] = {};
             for (std::uint32_t i = 0; i < p.n; ++i) {
@@ -382,7 +563,9 @@ makeNegacyclicConvKernel(ConvKernelParams p)
             }
             for (std::uint32_t l = 0; l < p.accLimbs(); ++l)
                 ctx.wramStore32(wo + 4 * l, acc[l]);
-            ctx.mramWrite(wo, p.mramOut + std::uint64_t(m) * acc_bytes,
+            ctx.mramWrite(wo,
+                          p.mramOut +
+                              std::uint64_t(m - row_begin) * acc_bytes,
                           acc_bytes);
             ctx.charge(5); // outer loop overhead
         }
@@ -400,21 +583,26 @@ inline analysis::KernelFootprint
 convKernelFootprint(const ConvKernelParams &p,
                     const pim::DpuConfig &cfg)
 {
+    const bool sharded = p.mramMeta != ConvKernelParams::kNoRowMeta;
+    const std::uint32_t rows =
+        sharded ? (p.rowEnd == 0 ? p.n : p.rowEnd) - p.rowBegin : p.n;
+
     analysis::KernelFootprint fp;
-    fp.kernel = "negacyclic-conv";
+    fp.kernel = sharded ? "negacyclic-conv-sharded" : "negacyclic-conv";
     fp.minTasklets = 1;
 
     const std::uint64_t poly_bytes =
         static_cast<std::uint64_t>(p.n) * p.limbs * 4;
     const std::uint32_t acc_bytes = p.accLimbs() * 4;
-    fp.wramSharedBytes = static_cast<std::uint32_t>(2 * poly_bytes);
+    const std::uint32_t shared =
+        static_cast<std::uint32_t>(2 * poly_bytes) + (sharded ? 8u : 0u);
+    fp.wramSharedBytes = shared;
     fp.wramBytesPerTasklet = acc_bytes;
 
     const std::uint64_t per_tasklet =
         static_cast<std::uint64_t>(acc_bytes) + fp.stackBytesPerTasklet;
-    const std::uint64_t avail = cfg.wramBytes > 2 * poly_bytes
-                                    ? cfg.wramBytes - 2 * poly_bytes
-                                    : 0;
+    const std::uint64_t avail =
+        cfg.wramBytes > shared ? cfg.wramBytes - shared : 0;
     fp.maxTasklets = static_cast<unsigned>(
         std::min<std::uint64_t>(cfg.maxTasklets, avail / per_tasklet));
 
@@ -422,9 +610,12 @@ convKernelFootprint(const ConvKernelParams &p,
         {"operand A", p.mramA, poly_bytes, analysis::Access::Read},
         {"operand B", p.mramB, poly_bytes, analysis::Access::Read},
         {"accumulators", p.mramOut,
-         static_cast<std::uint64_t>(p.n) * acc_bytes,
+         static_cast<std::uint64_t>(rows) * acc_bytes,
          analysis::Access::Write},
     };
+    if (sharded)
+        fp.mramRegions.push_back({"row metadata", p.mramMeta, 8,
+                                  analysis::Access::Read});
 
     // Operand staging runs in 2048-byte strides with a tail of
     // poly_bytes mod 2048; poly_bytes is a multiple of 8 for every
@@ -447,8 +638,18 @@ convKernelFootprint(const ConvKernelParams &p,
     writeback.maxBytes = acc_bytes;
     writeback.mramAlign = analysis::alignmentOf(p.mramOut);
     writeback.wramAlign = static_cast<std::uint32_t>(
-        analysis::alignmentOf(2 * poly_bytes));
+        analysis::alignmentOf(2 * poly_bytes + (sharded ? 8u : 0u)));
     fp.dmaPatterns = {stage, writeback};
+    if (sharded) {
+        analysis::DmaPattern meta;
+        meta.name = "row metadata read";
+        meta.minBytes = 8;
+        meta.maxBytes = 8;
+        meta.mramAlign = analysis::alignmentOf(p.mramMeta);
+        meta.wramAlign = static_cast<std::uint32_t>(
+            analysis::alignmentOf(2 * poly_bytes));
+        fp.dmaPatterns.push_back(meta);
+    }
     return fp;
 }
 

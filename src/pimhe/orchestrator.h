@@ -8,6 +8,18 @@
  * back. All results are bit-exact with the host Evaluator (the
  * simulator is functional), and every launch leaves a modelled-time
  * record behind.
+ *
+ * Two orchestration modes coexist:
+ *
+ *  - the staged mode (addCiphertextVectors, mulCoefficientwise,
+ *    reduceCiphertextsStaged) uploads operands before every launch
+ *    and downloads every result — the paper's measurement setup;
+ *  - the resident mode (makeResident and the *Resident operations)
+ *    keeps ciphertexts pinned in MRAM between launches through the
+ *    cache in resident.h, so chained pipelines pay the bus once per
+ *    operand instead of once per operation. reduceCiphertexts uses it
+ *    to run a whole tree reduction as one upload, log2(n) in-place
+ *    launches, and one download.
  */
 
 #ifndef PIMHE_PIMHE_ORCHESTRATOR_H
@@ -21,6 +33,7 @@
 #include "bfv/context.h"
 #include "pim/system.h"
 #include "pimhe/kernels.h"
+#include "pimhe/resident.h"
 
 namespace pimhe {
 
@@ -62,7 +75,8 @@ class PimHeSystem
     PimHeSystem(const BfvContext<N> &ctx, const pim::SystemConfig &cfg,
                 std::size_t num_dpus, unsigned tasklets = 12)
         : ctx_(ctx), dpus_(cfg, num_dpus), tasklets_(tasklets),
-          pm_(PseudoMersenne<N>::of(ctx.ring().modulus()))
+          pm_(PseudoMersenne<N>::of(ctx.ring().modulus())),
+          cache_(ctx, dpus_)
     {
         static_assert(N <= 4, "kernels support up to 128-bit widths");
     }
@@ -79,7 +93,8 @@ class PimHeSystem
     addCiphertextVectors(const std::vector<Ciphertext<N>> &a,
                          const std::vector<Ciphertext<N>> &b)
     {
-        return elementwise(a, b, /*multiply=*/false);
+        return elementwise(std::span(a), std::span(b),
+                           /*multiply=*/false);
     }
 
     /**
@@ -91,34 +106,188 @@ class PimHeSystem
     mulCoefficientwise(const std::vector<Ciphertext<N>> &a,
                        const std::vector<Ciphertext<N>> &b)
     {
-        return elementwise(a, b, /*multiply=*/true);
+        return elementwise(std::span(a), std::span(b),
+                           /*multiply=*/true);
+    }
+
+    // ------------------------------------------------------------------
+    // Resident-ciphertext operations (device-side operand reuse).
+    // ------------------------------------------------------------------
+
+    /** Register a ciphertext with the resident cache. The upload to
+     *  MRAM happens lazily at first device use. */
+    ResidentCiphertext
+    makeResident(const Ciphertext<N> &ct)
+    {
+        return {cache_.insert({ct})};
+    }
+
+    /** Host copy of a resident ciphertext (downloads only when the
+     *  device holds the freshest version). */
+    Ciphertext<N>
+    materialize(const ResidentCiphertext &h)
+    {
+        return cache_.materialize(h.id).front();
+    }
+
+    /** Release a handle; further use of it panics. */
+    void dropResident(const ResidentCiphertext &h) { cache_.drop(h.id); }
+
+    /** Resident homomorphic addition: out = a + b, all three in MRAM. */
+    ResidentCiphertext
+    addResident(const ResidentCiphertext &a, const ResidentCiphertext &b)
+    {
+        return residentBinary(a, b, /*multiply=*/false);
+    }
+
+    /** Resident coefficient-wise product: out = a * b in MRAM. */
+    ResidentCiphertext
+    mulResident(const ResidentCiphertext &a, const ResidentCiphertext &b)
+    {
+        return residentBinary(a, b, /*multiply=*/true);
     }
 
     /**
-     * Sum a vector of ciphertexts into one (homomorphic reduction):
-     * each DPU reduces its local slice with the add kernel and the
-     * host folds the per-DPU partials. Used by the statistical
-     * workloads (arithmetic mean, variance).
+     * Fused chain (a + b) * c in ONE launch: the add/mul intermediate
+     * never touches MRAM, where chaining addResident + mulResident
+     * would launch twice and round-trip the intermediate through the
+     * bank.
+     */
+    ResidentCiphertext
+    fusedAddMulResident(const ResidentCiphertext &a,
+                        const ResidentCiphertext &b,
+                        const ResidentCiphertext &c)
+    {
+        obs::ScopedSpan span(obs::Tracer::global(), 0,
+                             "pimhe.resident_fused_add_mul");
+        bumpOpCounter("pimhe.ops.resident_fused");
+        const auto &sa = cache_.shape(a.id);
+        PIMHE_ASSERT(sa == cache_.shape(b.id) &&
+                         sa == cache_.shape(c.id) &&
+                         cache_.count(a.id) == 1 &&
+                         cache_.count(b.id) == 1 &&
+                         cache_.count(c.id) == 1,
+                     "fused operands must be single same-shape "
+                     "ciphertexts");
+
+        pimhe_kernels::FusedKernelParams fp;
+        fp.vec = vecParams(cache_.ensureResident(a.id), 0, 0,
+                           sa.sliceBytes / (N * 4));
+        cache_.pin(a.id);
+        fp.vec.mramB = cache_.ensureResident(b.id);
+        cache_.pin(b.id);
+        fp.mramC = cache_.ensureResident(c.id);
+        cache_.pin(c.id);
+        const std::uint64_t out =
+            cache_.allocDeviceOnly(sa.comps, 1);
+        fp.vec.mramOut = cache_.addrOf(out);
+
+        dpus_.launch(tasklets_,
+                     pimhe_kernels::makeVecAddMulModQKernel(fp),
+                     pimhe_kernels::fusedKernelFootprint(
+                         fp, dpus_.config().dpu, tasklets_));
+
+        cache_.unpin(a.id);
+        cache_.unpin(b.id);
+        cache_.unpin(c.id);
+        return {out};
+    }
+
+    /**
+     * Sum a vector of ciphertexts into one resident result: one
+     * upload of the packed slices, log2(n) in-place fold launches
+     * that never leave MRAM, no download until the caller
+     * materializes. The folds are exact modular additions, so the
+     * result is bit-identical to any other summation order.
+     */
+    ResidentCiphertext
+    reduceResident(const std::vector<Ciphertext<N>> &cts)
+    {
+        PIMHE_ASSERT(!cts.empty(), "empty reduction");
+        obs::ScopedSpan span(obs::Tracer::global(), 0,
+                             "pimhe.resident_reduce");
+        span.arg("cts", static_cast<double>(cts.size()));
+        bumpOpCounter("pimhe.ops.resident_reduce");
+        const std::uint64_t id = cache_.insert(cts);
+        if (cts.size() == 1)
+            return {id}; // host copy already is the sum
+        const std::uint64_t addr = cache_.ensureResident(id);
+        cache_.pin(id);
+
+        const auto &s = cache_.shape(id);
+        const std::uint32_t slice_elems =
+            static_cast<std::uint32_t>(s.sliceBytes / (N * 4));
+        std::uint32_t m = static_cast<std::uint32_t>(cts.size());
+        while (m > 1) {
+            // Fold the upper half onto the lower: slice[i] += slice[i
+            // + hh] for i < m - hh; odd leftover slices stay in place.
+            const std::uint32_t hh = (m + 1) / 2;
+            const std::uint32_t pairs = m - hh;
+            pimhe_kernels::VecKernelParams kp = vecParams(
+                addr, addr + std::uint64_t(hh) * s.sliceBytes, addr,
+                pairs * slice_elems);
+            dpus_.launch(tasklets_,
+                         pimhe_kernels::makeVecAddModQKernel(kp),
+                         pimhe_kernels::reduceRoundFootprint(
+                             kp, dpus_.config().dpu, tasklets_));
+            m = hh;
+        }
+        cache_.unpin(id);
+        cache_.noteReduced(id);
+        return {id};
+    }
+
+    /**
+     * Sum a vector of ciphertexts into one (homomorphic reduction).
+     * Runs the resident tree reduction — upload once, fold in MRAM,
+     * download once. Used by the statistical workloads (arithmetic
+     * mean, variance).
      */
     Ciphertext<N>
     reduceCiphertexts(const std::vector<Ciphertext<N>> &cts)
     {
+        const ResidentCiphertext h = reduceResident(cts);
+        Ciphertext<N> out = materialize(h);
+        dropResident(h);
+        return out;
+    }
+
+    /**
+     * The pre-resident reduction: tree of staged vector adds, every
+     * round re-uploading its operands and downloading its sums. Kept
+     * as the baseline the ablation bench (and the differential tests)
+     * compare the resident path against.
+     */
+    Ciphertext<N>
+    reduceCiphertextsStaged(const std::vector<Ciphertext<N>> &cts)
+    {
         PIMHE_ASSERT(!cts.empty(), "empty reduction");
-        // Tree reduction via repeated halving with the vector-add
-        // kernel; odd leftovers pass through untouched.
         std::vector<Ciphertext<N>> cur = cts;
         while (cur.size() > 1) {
             const std::size_t half = cur.size() / 2;
-            std::vector<Ciphertext<N>> lo(cur.begin(),
-                                          cur.begin() + half);
-            std::vector<Ciphertext<N>> hi(cur.begin() + half,
-                                          cur.begin() + 2 * half);
-            auto sums = addCiphertextVectors(lo, hi);
+            // Views into the working vector — no lo/hi copies.
+            auto sums = elementwise(
+                std::span<const Ciphertext<N>>(cur.data(), half),
+                std::span<const Ciphertext<N>>(cur.data() + half, half),
+                /*multiply=*/false);
             if (cur.size() % 2)
-                sums.push_back(cur.back());
+                sums.push_back(std::move(cur.back()));
             cur = std::move(sums);
         }
         return cur.front();
+    }
+
+    /** Cache counters of the resident layer (hits, misses,
+     *  evictions, bytes avoided). */
+    const ResidentCacheStats &residentStats() const
+    {
+        return cache_.stats();
+    }
+
+    /** Lifetime host<->DPU transfer accounting of this system. */
+    const pim::TransferTotals &transferTotals() const
+    {
+        return dpus_.transferTotals();
     }
 
     /** Total modelled PIM time accumulated so far (ms). */
@@ -136,9 +305,71 @@ class PimHeSystem
     }
 
   private:
+    pimhe_kernels::VecKernelParams
+    vecParams(std::uint64_t a, std::uint64_t b, std::uint64_t out,
+              std::uint64_t elems) const
+    {
+        pimhe_kernels::VecKernelParams kp;
+        kp.mramA = a;
+        kp.mramB = b;
+        kp.mramOut = out;
+        kp.elems = static_cast<std::uint32_t>(elems);
+        kp.limbs = N;
+        kp.k = static_cast<std::uint32_t>(pm_.k);
+        kp.c = pm_.c;
+        for (std::size_t l = 0; l < N; ++l)
+            kp.q[l] = ctx_.ring().modulus().limb(l);
+        return kp;
+    }
+
+    static void
+    bumpOpCounter(const char *name)
+    {
+        obs::Registry &reg = obs::Registry::global();
+        if (reg.enabled())
+            reg.counter(name).add(1);
+    }
+
+    ResidentCiphertext
+    residentBinary(const ResidentCiphertext &a,
+                   const ResidentCiphertext &b, bool multiply)
+    {
+        obs::ScopedSpan span(obs::Tracer::global(), 0,
+                             multiply ? "pimhe.resident_mul"
+                                      : "pimhe.resident_add");
+        bumpOpCounter(multiply ? "pimhe.ops.resident_mul"
+                               : "pimhe.ops.resident_add");
+        const auto &sa = cache_.shape(a.id);
+        PIMHE_ASSERT(sa == cache_.shape(b.id) &&
+                         cache_.count(a.id) == cache_.count(b.id),
+                     "resident operands must share shape and count");
+        const std::uint32_t count = cache_.count(a.id);
+
+        pimhe_kernels::VecKernelParams kp = vecParams(
+            cache_.ensureResident(a.id), 0, 0,
+            std::uint64_t(count) * (sa.sliceBytes / (N * 4)));
+        cache_.pin(a.id);
+        kp.mramB = cache_.ensureResident(b.id);
+        cache_.pin(b.id);
+        const std::uint64_t out =
+            cache_.allocDeviceOnly(sa.comps, count);
+        kp.mramOut = cache_.addrOf(out);
+
+        dpus_.launch(tasklets_,
+                     multiply
+                         ? pimhe_kernels::makeVecMulModQKernel(kp)
+                         : pimhe_kernels::makeVecAddModQKernel(kp),
+                     pimhe_kernels::vecKernelFootprint(
+                         kp, dpus_.config().dpu, tasklets_, multiply));
+
+        cache_.unpin(a.id);
+        cache_.unpin(b.id);
+        return {out};
+    }
+
     std::vector<Ciphertext<N>>
-    elementwise(const std::vector<Ciphertext<N>> &a,
-                const std::vector<Ciphertext<N>> &b, bool multiply)
+    elementwise(std::span<const Ciphertext<N>> a,
+                std::span<const Ciphertext<N>> b, bool multiply)
     {
         PIMHE_ASSERT(a.size() == b.size() && !a.empty(),
                      "operand vectors must be equal-length, non-empty");
@@ -175,16 +406,14 @@ class PimHeSystem
         const std::size_t arr_bytes =
             (per_dpu * elem_bytes + 7) / 8 * 8;
 
-        pimhe_kernels::VecKernelParams kp;
-        kp.mramA = 0;
-        kp.mramB = arr_bytes;
-        kp.mramOut = 2 * arr_bytes;
-        kp.elems = static_cast<std::uint32_t>(per_dpu);
-        kp.limbs = N;
-        kp.k = static_cast<std::uint32_t>(pm_.k);
-        kp.c = pm_.c;
-        for (std::size_t l = 0; l < N; ++l)
-            kp.q[l] = ctx_.ring().modulus().limb(l);
+        // Scratch comes from the same arena the resident cache
+        // manages, so staged launches coexist with (and can evict)
+        // resident entries instead of silently overwriting them.
+        const std::uint64_t scratch =
+            cache_.allocScratch(3 * arr_bytes);
+        pimhe_kernels::VecKernelParams kp =
+            vecParams(scratch, scratch + arr_bytes,
+                      scratch + 2 * arr_bytes, per_dpu);
 
         // Stage operands: flatten every DPU's slice concurrently into
         // disjoint regions of one buffer, then issue the MRAM copies
@@ -230,6 +459,7 @@ class PimHeSystem
             unflattenSlice(sliceOf(obuf, d, arr_bytes), d * per_dpu,
                            per_dpu, out);
         });
+        cache_.freeScratch(scratch);
         return out;
     }
 
@@ -242,9 +472,8 @@ class PimHeSystem
 
     /** Copy elements [begin, begin+count) of the flat view into buf. */
     void
-    flattenSlice(const std::vector<Ciphertext<N>> &cts,
-                 std::size_t begin, std::size_t count,
-                 std::span<std::uint8_t> buf) const
+    flattenSlice(std::span<const Ciphertext<N>> cts, std::size_t begin,
+                 std::size_t count, std::span<std::uint8_t> buf) const
     {
         const std::size_t n = ctx_.ring().degree();
         const std::size_t comps = cts.front().size();
@@ -290,12 +519,19 @@ class PimHeSystem
     pim::DpuSet dpus_;
     unsigned tasklets_;
     PseudoMersenne<N> pm_;
+    ResidentCache<N> cache_;
 };
 
 /**
  * ExactConvolver backed by the PIM negacyclic convolution kernel:
  * plugging this into a BfvContext runs every BFV tensor product on
  * the simulated PIM system, bit-exact with the host engines.
+ *
+ * With num_dpus > 1 the output rows are block-partitioned across the
+ * DPUs: both operand polynomials are broadcast (each DPU needs all of
+ * A and B for its rows), every DPU receives its own {rowBegin,
+ * rowEnd} metadata block, computes its rows completely, and the host
+ * concatenates the disjoint shards — no cross-DPU folding needed.
  */
 template <std::size_t N>
 class PimConvolver : public ExactConvolver<N>
@@ -305,10 +541,12 @@ class PimConvolver : public ExactConvolver<N>
      * @param ring     Ring the products live in.
      * @param cfg      PIM system configuration.
      * @param tasklets Tasklets for the convolution kernel.
+     * @param num_dpus DPUs to shard the output rows across.
      */
     PimConvolver(const RingContext<N> &ring,
-                 const pim::SystemConfig &cfg, unsigned tasklets = 12)
-        : ring_(ring), dpus_(cfg, 1), tasklets_(tasklets)
+                 const pim::SystemConfig &cfg, unsigned tasklets = 12,
+                 std::size_t num_dpus = 1)
+        : ring_(ring), dpus_(cfg, num_dpus), tasklets_(tasklets)
     {}
 
     std::vector<U256>
@@ -316,9 +554,11 @@ class PimConvolver : public ExactConvolver<N>
                      const Polynomial<N> &b) const override
     {
         const std::size_t n = ring_.degree();
+        const std::size_t num_dpus = dpus_.size();
         obs::ScopedSpan op_span(obs::Tracer::global(), 0,
                                 "pimhe.convolve");
         op_span.arg("n", static_cast<double>(n));
+        op_span.arg("dpus", static_cast<double>(num_dpus));
         {
             obs::Registry &reg = obs::Registry::global();
             if (reg.enabled()) {
@@ -336,28 +576,89 @@ class PimConvolver : public ExactConvolver<N>
         for (std::size_t l = 0; l < N; ++l)
             kp.halfQ[l] = half.limb(l);
         const std::size_t elem_bytes = N * 4;
+        const std::size_t acc_bytes = kp.accLimbs() * 4;
         kp.mramA = 0;
         kp.mramB = n * elem_bytes;
         kp.mramOut = 2 * n * elem_bytes;
 
-        auto &dpus = const_cast<pim::DpuSet &>(dpus_);
-        dpus.copyToMram(0, kp.mramA, flatten(a));
-        dpus.copyToMram(0, kp.mramB, flatten(b));
-        dpus.launch(tasklets_,
-                    pimhe_kernels::makeNegacyclicConvKernel(kp),
-                    pimhe_kernels::convKernelFootprint(
-                        kp, dpus.config().dpu));
+        if (num_dpus > 1) {
+            // Shard 0 is a widest shard (analysis::rowShardRange), so
+            // its row count bounds every DPU's accumulator region and
+            // one footprint covers the whole launch.
+            const auto [b0, e0] = analysis::rowShardRange(
+                kp.n, static_cast<std::uint32_t>(num_dpus), 0);
+            kp.rowBegin = b0;
+            kp.rowEnd = e0;
+            kp.mramMeta =
+                kp.mramOut + std::uint64_t(e0 - b0) * acc_bytes;
+        }
 
-        const std::size_t acc_limbs = kp.accLimbs();
-        std::vector<std::uint8_t> buf(n * acc_limbs * 4);
-        dpus.copyFromMram(0, kp.mramOut, buf);
+        dpus_.broadcastToMram(kp.mramA, flatten(a));
+        dpus_.broadcastToMram(kp.mramB, flatten(b));
+        if (num_dpus > 1) {
+            for (std::size_t d = 0; d < num_dpus; ++d) {
+                const auto [rb, re] = analysis::rowShardRange(
+                    kp.n, static_cast<std::uint32_t>(num_dpus),
+                    static_cast<std::uint32_t>(d));
+                const std::uint32_t meta[2] = {rb, re};
+                std::uint8_t bytes[8];
+                std::memcpy(bytes, meta, 8);
+                dpus_.copyToMram(d, kp.mramMeta,
+                                 std::span<const std::uint8_t>(bytes,
+                                                               8));
+            }
+        }
 
-        // Truncating to (or sign-extending up to) 256 bits preserves
-        // the two's-complement value: |coeff| < n * q^2 < 2^255.
+        dpus_.launch(tasklets_,
+                     pimhe_kernels::makeNegacyclicConvKernel(kp),
+                     pimhe_kernels::convKernelFootprint(
+                         kp, dpus_.config().dpu));
+
+        // Collect the disjoint row shards in DPU order.
         std::vector<U256> out(n);
-        const std::size_t read_limbs = std::min<std::size_t>(acc_limbs,
-                                                             8);
-        for (std::size_t i = 0; i < n; ++i) {
+        std::vector<std::uint8_t> buf;
+        for (std::size_t d = 0; d < num_dpus; ++d) {
+            std::uint32_t rb = 0;
+            std::uint32_t re = kp.n;
+            if (num_dpus > 1) {
+                const auto rr = analysis::rowShardRange(
+                    kp.n, static_cast<std::uint32_t>(num_dpus),
+                    static_cast<std::uint32_t>(d));
+                rb = rr.first;
+                re = rr.second;
+            }
+            if (rb == re)
+                continue;
+            buf.resize(std::size_t(re - rb) * acc_bytes);
+            dpus_.copyFromMram(d, kp.mramOut, buf);
+            decodeRows(buf, kp, rb, re, out);
+        }
+        return out;
+    }
+
+    std::string name() const override { return "pim-schoolbook"; }
+
+    /** Modelled PIM time spent in convolutions so far (ms). */
+    double totalModeledMs() const { return dpus_.totalModeledMs(); }
+
+    /** The convolver's DPU set (launch stats, transfer totals). */
+    const pim::DpuSet &dpuSet() const { return dpus_; }
+
+  private:
+    /** Sign-extend accumulator rows [rb, re) out of buf into out.
+     *  Truncating to (or sign-extending up to) 256 bits preserves the
+     *  two's-complement value: |coeff| < n * q^2 < 2^255. */
+    static void
+    decodeRows(const std::vector<std::uint8_t> &buf,
+               const pimhe_kernels::ConvKernelParams &kp,
+               std::uint32_t rb, std::uint32_t re,
+               std::vector<U256> &out)
+    {
+        const std::size_t acc_limbs = kp.accLimbs();
+        const std::size_t read_limbs =
+            std::min<std::size_t>(acc_limbs, 8);
+        for (std::uint32_t r = rb; r < re; ++r) {
+            const std::size_t i = r - rb;
             U256 v;
             std::uint32_t top = 0;
             for (std::size_t l = 0; l < read_limbs; ++l) {
@@ -368,17 +669,10 @@ class PimConvolver : public ExactConvolver<N>
             if ((top & 0x80000000u) != 0)
                 for (std::size_t l = read_limbs; l < 8; ++l)
                     v.setLimb(l, 0xFFFFFFFFu);
-            out[i] = v;
+            out[r] = v;
         }
-        return out;
     }
 
-    std::string name() const override { return "pim-schoolbook"; }
-
-    /** Modelled PIM time spent in convolutions so far (ms). */
-    double totalModeledMs() const { return dpus_.totalModeledMs(); }
-
-  private:
     std::vector<std::uint8_t>
     flatten(const Polynomial<N> &p) const
     {
