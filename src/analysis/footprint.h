@@ -22,6 +22,7 @@
 #define PIMHE_ANALYSIS_FOOTPRINT_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,52 @@ struct MramRegion
         return begin < other.end() && other.begin < end();
     }
 };
+
+/** Memory space of a symbolic access (mirrors pim::MemSpace without
+ *  pulling the simulator headers into the analysis layer). */
+enum class Space : std::uint8_t
+{
+    Wram,
+    Mram,
+};
+
+inline const char *
+toString(Space s)
+{
+    return s == Space::Wram ? "WRAM" : "MRAM";
+}
+
+/**
+ * One contiguous byte range a tasklet's *whole execution* touches in
+ * one barrier epoch — the atom of the parametric access model
+ * consumed by analysis/symbolic.h. A kernel's chunked DMA loop over
+ * its element range collapses to a single interval here (the chunks
+ * tile it contiguously), so models stay closed-form in (t, N) with
+ * no per-element enumeration.
+ */
+struct SymAccess
+{
+    Space space = Space::Wram;
+    unsigned epoch = 0; //!< barrier epoch (accesses across epochs of
+                        //!< an all-tasklet barrier are ordered)
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0; //!< one past the last byte
+    bool write = false;
+    std::string label; //!< e.g. "result rows", "accumulator slot"
+};
+
+/**
+ * Parametric per-tasklet access model: evaluated at symbolic
+ * coordinates (tasklet id t, tasklet count N), returns every byte
+ * range tasklet t touches when the kernel runs with N tasklets. The
+ * builders mirror the kernels' own layout arithmetic
+ * (alignedTaskletRange, wramChunkBytes, rowShardRange), so the model
+ * is exact for every (t, N) in the finite supported domain and the
+ * prover's pairwise sweep is a complete decision procedure.
+ */
+using TaskletAccessFn =
+    std::function<std::vector<SymAccess>(unsigned tasklet,
+                                         unsigned tasklets)>;
 
 /** The shape of the DMA transfers one code path issues. */
 struct DmaPattern
@@ -108,6 +155,11 @@ struct KernelFootprint
 
     std::vector<MramRegion> mramRegions;
     std::vector<DmaPattern> dmaPatterns;
+
+    /** Parametric per-tasklet access model for the symbolic prover
+     *  (analysis/symbolic.h); empty means the kernel is unmodeled and
+     *  can never pass a symbolic sweep. */
+    TaskletAccessFn taskletAccess;
 
     /** Total WRAM bytes a launch with `tasklets` tasklets needs. */
     std::uint64_t

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * PlanVerifier implementation: freed-interval bookkeeping and the
+ * per-launch region checks.
+ */
+
+#include "analysis/plan_verify.h"
+
+#include <sstream>
+
+namespace pimhe {
+namespace analysis {
+
+const char *
+toString(PlanViolationKind k)
+{
+    switch (k) {
+      case PlanViolationKind::UseAfterDrop:
+        return "use-after-drop";
+      case PlanViolationKind::WriteWhilePinned:
+        return "write-while-pinned";
+      case PlanViolationKind::DirtyAlias:
+        return "dirty-alias";
+      case PlanViolationKind::StrayWrite:
+        return "stray-write";
+    }
+    return "?";
+}
+
+std::string
+PlanViolation::describe() const
+{
+    std::ostringstream os;
+    os << "[" << toString(kind) << "] " << what << " (bytes [" << begin
+       << ", " << end << "))";
+    return os.str();
+}
+
+std::string
+PlanReport::summary() const
+{
+    std::ostringstream os;
+    os << "launch plan '" << kernel << "' (launch #" << launchIndex
+       << "): ";
+    if (ok()) {
+        os << "lifetimes OK\n";
+    } else {
+        os << violations.size() << " lifetime violation(s)\n";
+        for (const auto &v : violations)
+            os << "  " << v.describe() << "\n";
+    }
+    for (const auto &n : notes)
+        os << "  note: " << n << "\n";
+    return os.str();
+}
+
+void
+PlanVerifier::addFreed(std::uint64_t begin, std::uint64_t end)
+{
+    if (begin >= end)
+        return;
+    // Merge with any overlapping or adjacent freed intervals.
+    auto it = freed_.lower_bound(begin);
+    if (it != freed_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= begin)
+            it = prev;
+    }
+    while (it != freed_.end() && it->first <= end) {
+        begin = std::min(begin, it->first);
+        end = std::max(end, it->second);
+        it = freed_.erase(it);
+    }
+    freed_[begin] = end;
+}
+
+void
+PlanVerifier::removeFreed(std::uint64_t begin, std::uint64_t end)
+{
+    if (begin >= end)
+        return;
+    auto it = freed_.lower_bound(begin);
+    if (it != freed_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > begin)
+            it = prev;
+    }
+    while (it != freed_.end() && it->first < end) {
+        const std::uint64_t fb = it->first;
+        const std::uint64_t fe = it->second;
+        it = freed_.erase(it);
+        if (fb < begin)
+            freed_[fb] = begin;
+        if (fe > end) {
+            freed_[end] = fe;
+            break;
+        }
+    }
+}
+
+void
+PlanVerifier::noteAlloc(std::uint64_t id, std::uint64_t addr,
+                        std::uint64_t bytes, std::string label)
+{
+    removeFreed(addr, addr + bytes);
+    Region r;
+    r.addr = addr;
+    r.bytes = bytes;
+    r.label = std::move(label);
+    live_[id] = std::move(r);
+}
+
+void
+PlanVerifier::noteFree(std::uint64_t id)
+{
+    const auto it = live_.find(id);
+    if (it == live_.end())
+        return;
+    addFreed(it->second.addr, it->second.end());
+    live_.erase(it);
+}
+
+void
+PlanVerifier::notePin(std::uint64_t id, bool pinned)
+{
+    const auto it = live_.find(id);
+    if (it != live_.end())
+        it->second.pinned = pinned;
+}
+
+void
+PlanVerifier::noteDirty(std::uint64_t id, bool dirty)
+{
+    const auto it = live_.find(id);
+    if (it != live_.end())
+        it->second.dirty = dirty;
+}
+
+void
+PlanVerifier::declareWriteTarget(std::uint64_t id)
+{
+    declared_.insert(id);
+}
+
+PlanReport
+PlanVerifier::checkLaunch(const KernelFootprint &fp)
+{
+    PlanReport report;
+    report.kernel = fp.kernel;
+    report.launchIndex = ++launches_;
+
+    for (const auto &region : fp.mramRegions) {
+        const std::uint64_t rb = region.begin;
+        const std::uint64_t re = region.end();
+        const bool is_write = writes(region.access);
+
+        // Freed-space check: any byte of the region inside a freed,
+        // not-yet-reallocated interval is a lifetime error whether
+        // the kernel reads or writes it (the allocator may hand the
+        // bytes to someone else at any time).
+        auto fit = freed_.lower_bound(rb);
+        if (fit != freed_.begin()) {
+            auto prev = std::prev(fit);
+            if (prev->second > rb)
+                fit = prev;
+        }
+        for (; fit != freed_.end() && fit->first < re; ++fit) {
+            const std::uint64_t lo = std::max(rb, fit->first);
+            const std::uint64_t hi = std::min(re, fit->second);
+            if (lo >= hi)
+                continue;
+            std::ostringstream os;
+            os << "region '" << region.name << "' "
+               << (is_write ? "writes" : "reads")
+               << " freed arena bytes — stale address into a dropped "
+                  "or evicted resident region";
+            report.violations.push_back(PlanViolation{
+                PlanViolationKind::UseAfterDrop, lo, hi, os.str()});
+        }
+
+        // Live-region aliasing: reads of live regions are operands
+        // (fine); writes must name their target.
+        for (const auto &kv : live_) {
+            const Region &l = kv.second;
+            const std::uint64_t lo = std::max(rb, l.addr);
+            const std::uint64_t hi = std::min(re, l.end());
+            if (lo >= hi)
+                continue;
+            if (!is_write)
+                continue;
+            if (declared_.count(kv.first) != 0) {
+                std::ostringstream os;
+                os << "region '" << region.name
+                   << "' writes declared target '" << l.label << "'";
+                report.notes.push_back(os.str());
+                continue;
+            }
+            PlanViolationKind kind = PlanViolationKind::StrayWrite;
+            if (l.pinned)
+                kind = PlanViolationKind::WriteWhilePinned;
+            else if (l.dirty)
+                kind = PlanViolationKind::DirtyAlias;
+            std::ostringstream os;
+            os << "region '" << region.name
+               << "' writes undeclared live region '" << l.label
+               << "'";
+            if (l.pinned)
+                os << " while it is pinned for another operand";
+            else if (l.dirty)
+                os << " whose device copy is the only copy of its "
+                      "data";
+            report.violations.push_back(
+                PlanViolation{kind, lo, hi, os.str()});
+        }
+    }
+
+    if (report.ok()) {
+        std::ostringstream os;
+        os << fp.mramRegions.size() << " region(s) checked against "
+           << live_.size() << " live / " << freed_.size()
+           << " freed arena range(s)";
+        report.notes.push_back(os.str());
+    }
+    declared_.clear();
+    return report;
+}
+
+} // namespace analysis
+} // namespace pimhe

@@ -27,6 +27,10 @@ toString(Resource r)
         return "staging";
       case Resource::Params:
         return "params";
+      case Resource::Race:
+        return "race";
+      case Resource::Lifetime:
+        return "lifetime";
     }
     return "?";
 }

@@ -44,6 +44,8 @@ enum class Resource : std::uint8_t
     Tasklets, //!< tasklet count outside the supported range
     Staging,  //!< per-DPU MRAM staging does not fit capacity
     Params,   //!< arithmetic parameter set rejected (interval.h)
+    Race,     //!< symbolic tasklet race witness (symbolic.h)
+    Lifetime, //!< plan-level lifetime violation (plan_verify.h)
 };
 
 const char *toString(Resource r);

@@ -186,11 +186,13 @@ AccessChecker::allowRange(MemSpace space, std::uint64_t addr,
 
 bool
 AccessChecker::allowed(MemSpace space, std::uint64_t begin,
-                       std::uint64_t end) const
+                       std::uint64_t end)
 {
-    for (const auto &r : allowed_)
-        if (r.space == space && r.begin <= begin && end <= r.end)
+    for (auto &r : allowed_)
+        if (r.space == space && r.begin <= begin && end <= r.end) {
+            ++r.hits;
             return true;
+        }
     return false;
 }
 
@@ -220,7 +222,7 @@ AccessChecker::sweepPair(ConflictReport &report, MemSpace space,
                          unsigned epoch, unsigned ta,
                          const std::vector<Interval> &a, unsigned tb,
                          const std::vector<Interval> &b,
-                         bool write_write) const
+                         bool write_write)
 {
     // Two-pointer intersection of sorted, coalesced interval lists.
     std::size_t i = 0;
@@ -309,6 +311,13 @@ AccessChecker::finish()
                               /*write_write=*/false);
                 }
         }
+
+    // Every declared exemption travels with the report (hit or not)
+    // so the stale-suppression audit can discharge the unnecessary
+    // ones against a symbolic proof.
+    for (const auto &r : allowed_)
+        report.suppressions.push_back(
+            SuppressionUse{r.space, r.begin, r.end, r.reason, r.hits});
     return report;
 }
 

@@ -97,11 +97,28 @@ struct Diagnostic
     std::string message;
 };
 
+/**
+ * One allowRange() exemption with its per-run hit count. Emitted in
+ * every report (hits == 0 included) so the stale-suppression audit in
+ * analysis/symbolic.h can flag exemptions the symbolic prover
+ * discharges — a suppression that masked nothing at runtime and
+ * covers no statically-proven race is provably unnecessary.
+ */
+struct SuppressionUse
+{
+    MemSpace space = MemSpace::Wram;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::string reason;      //!< justification given at allowRange()
+    std::uint64_t hits = 0;  //!< overlaps this range suppressed
+};
+
 /** Everything one checker-enabled Dpu::run learned. */
 struct ConflictReport
 {
     std::vector<ConflictRecord> conflicts; //!< capped at maxReports
     std::vector<Diagnostic> diagnostics;
+    std::vector<SuppressionUse> suppressions; //!< one per allowRange
     std::uint64_t totalConflicts = 0;  //!< exact, never capped
     std::uint64_t accessesRecorded = 0;
     std::uint64_t suppressedConflicts = 0; //!< dropped by allowRange
@@ -194,11 +211,13 @@ class AccessChecker
         std::uint64_t begin;
         std::uint64_t end;
         std::string reason;
+        std::uint64_t hits = 0; //!< overlaps suppressed this run
     };
 
     AccessSet &setFor(unsigned tasklet, unsigned epoch, MemSpace space);
+    /** Non-const: bumps the matching range's hit counter. */
     bool allowed(MemSpace space, std::uint64_t begin,
-                 std::uint64_t end) const;
+                 std::uint64_t end);
 
     static void append(std::vector<Interval> &ivals, std::uint64_t begin,
                        std::uint64_t end, AccessKind kind);
@@ -207,7 +226,7 @@ class AccessChecker
                    unsigned epoch, unsigned ta,
                    const std::vector<Interval> &a, unsigned tb,
                    const std::vector<Interval> &b,
-                   bool write_write) const;
+                   bool write_write);
 
     CheckerConfig cfg_;
     unsigned numTasklets_;

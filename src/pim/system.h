@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "analysis/plan_verify.h"
+#include "analysis/symbolic.h"
 #include "analysis/verifier.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -218,13 +220,25 @@ class DpuSet
     }
 
     /**
-     * Verified launch: when cfg.verifyBeforeLaunch is set, check the
-     * footprint against this set's DpuConfig with the static
-     * LaunchVerifier first and panic — before any simulated cycle or
-     * modelled transfer — if the plan violates a hardware budget. The
-     * full report (violations or satisfied-budget notes) is retained
-     * in lastVerify() either way. With verifyBeforeLaunch off the
-     * footprint is ignored and this is exactly launch() above.
+     * Verified launch: when cfg.verifyBeforeLaunch is set, run the
+     * whole pre-launch static stack against this set's DpuConfig and
+     * panic — before any simulated cycle or modelled transfer — if
+     * the plan is unsafe:
+     *
+     *  1. LaunchVerifier budget checks (WRAM/MRAM/DMA/tasklets);
+     *  2. the symbolic race prover at the planned tasklet count, when
+     *     the footprint carries a parametric access model (witnesses
+     *     surface as Resource::Race violations);
+     *  3. the plan-level lifetime verifier against the resident-arena
+     *     state fed through plan() (violations surface as
+     *     Resource::Lifetime).
+     *
+     * The combined report is retained in lastVerify() either way;
+     * lastSymbolic()/lastPlanCheck() keep the structured sub-reports.
+     * With verifyBeforeLaunch off the footprint is ignored (armed
+     * write-target declarations are still consumed so they cannot
+     * leak into a later verified launch) and this is exactly
+     * launch() above.
      */
     const LaunchStats &
     launch(unsigned num_tasklets, const Kernel &kernel,
@@ -234,6 +248,34 @@ class DpuSet
             const analysis::LaunchVerifier verifier(cfg_.dpu);
             lastVerify_ = verifier.verify(footprint, num_tasklets);
             hasVerify_ = true;
+
+            if (footprint.taskletAccess) {
+                const analysis::SymbolicProver prover(
+                    cfg_.dpu.maxTasklets);
+                lastSymbolic_ = prover.proveAt(footprint, num_tasklets);
+                hasSymbolic_ = true;
+                for (const auto &w : lastSymbolic_.witnesses)
+                    lastVerify_.violations.push_back(
+                        analysis::Violation{analysis::Resource::Race,
+                                            0, w.end - w.begin,
+                                            w.describe()});
+                if (lastSymbolic_.ok())
+                    lastVerify_.notes.push_back(
+                        "symbolic: tasklet write sets disjoint at N=" +
+                        std::to_string(num_tasklets));
+            }
+
+            lastPlan_ = plan_.checkLaunch(footprint);
+            hasPlan_ = true;
+            for (const auto &v : lastPlan_.violations)
+                lastVerify_.violations.push_back(
+                    analysis::Violation{analysis::Resource::Lifetime,
+                                        0, v.end - v.begin,
+                                        v.describe()});
+            if (lastPlan_.ok())
+                lastVerify_.notes.push_back(
+                    "plan: region lifetimes consistent with the "
+                    "resident arena");
 
             obs::Registry &reg = obs::Registry::global();
             if (reg.enabled()) {
@@ -260,6 +302,8 @@ class DpuSet
             if (!lastVerify_.ok())
                 panic("pre-launch verification rejected kernel '",
                       footprint.kernel, "':\n", lastVerify_.summary());
+        } else {
+            plan_.clearDeclaredTargets();
         }
         return launch(num_tasklets, kernel);
     }
@@ -272,6 +316,36 @@ class DpuSet
                      "no verified launch recorded (verifyBeforeLaunch "
                      "off or footprint-less launch() used)");
         return lastVerify_;
+    }
+
+    /**
+     * Arena-lifetime tracker for this set. The resident cache feeds
+     * region events into it and orchestrators declare per-launch
+     * write targets; the verified launch path checks every footprint
+     * against it (see analysis/plan_verify.h).
+     */
+    analysis::PlanVerifier &plan() { return plan_; }
+    const analysis::PlanVerifier &plan() const { return plan_; }
+
+    /** Symbolic race proof of the most recent verified launch that
+     *  carried an access model. */
+    const analysis::SymbolicReport &
+    lastSymbolic() const
+    {
+        PIMHE_ASSERT(hasSymbolic_,
+                     "no symbolic proof recorded (verifyBeforeLaunch "
+                     "off or footprint without an access model)");
+        return lastSymbolic_;
+    }
+
+    /** Plan-level lifetime report of the most recent verified launch. */
+    const analysis::PlanReport &
+    lastPlanCheck() const
+    {
+        PIMHE_ASSERT(hasPlan_,
+                     "no plan check recorded (verifyBeforeLaunch off "
+                     "or footprint-less launch() used)");
+        return lastPlan_;
     }
 
     /** Stats of the most recent launch (downloads keep updating it). */
@@ -431,6 +505,11 @@ class DpuSet
     double modelCursorUs_ = 0;
     analysis::VerifyReport lastVerify_;
     bool hasVerify_ = false;
+    analysis::SymbolicReport lastSymbolic_;
+    bool hasSymbolic_ = false;
+    analysis::PlanVerifier plan_;
+    analysis::PlanReport lastPlan_;
+    bool hasPlan_ = false;
 };
 
 } // namespace pim

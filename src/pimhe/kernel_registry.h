@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Central registry of every DPU kernel family the library ships.
+ *
+ * Each row pairs a make*Kernel factory with the launch plans its
+ * footprint builder produces over the supported parameter grid (the
+ * paper's three security levels for the elementwise kernels, the
+ * WRAM-fit degree envelope for convolution, the ablation lengths for
+ * NTT). The registry exists so coverage is a checkable property
+ * instead of a convention:
+ *
+ *  - tools/pim_prove sweeps every registered plan through the
+ *    symbolic race prover for all tasklet counts 1..24;
+ *  - tests/test_kernel_registry.cpp greps src/pimhe for kernel
+ *    factories and fails when one ships without a registry row — i.e.
+ *    without a footprint builder and a parametric access model.
+ *
+ * Adding a kernel therefore means adding its factory, its footprint
+ * builder (with taskletAccess), and one registry row; forgetting the
+ * row is a test failure, forgetting the model is a prover failure.
+ */
+
+#ifndef PIMHE_PIMHE_KERNEL_REGISTRY_H
+#define PIMHE_PIMHE_KERNEL_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/footprint.h"
+#include "bfv/params.h"
+#include "modular/mod64.h"
+#include "pim/config.h"
+#include "pimhe/kernels.h"
+#include "pimhe/ntt_kernel.h"
+
+namespace pimhe {
+namespace pimhe_kernels {
+
+/** One concrete launch plan of a kernel family: the footprint plus a
+ *  human-readable parameter tag for diagnostics. */
+struct KernelPlan
+{
+    analysis::KernelFootprint footprint;
+    std::string params; //!< e.g. "27-bit, n=1024"
+};
+
+/** One registered kernel family. */
+struct KernelFamily
+{
+    std::string factory; //!< make*Kernel function name (audited)
+    std::string title;   //!< short description for reports
+    /** All launch plans of this family over the supported grid. */
+    std::function<std::vector<KernelPlan>(const pim::DpuConfig &)> plans;
+};
+
+namespace detail {
+
+template <std::size_t N>
+VecKernelParams
+registryVecParams()
+{
+    const auto params = standardParams<N>();
+    VecKernelParams kp;
+    const std::uint64_t arr =
+        (static_cast<std::uint64_t>(params.n) * N * 4 + 7) / 8 * 8;
+    kp.mramA = 0;
+    kp.mramB = arr;
+    kp.mramOut = 2 * arr;
+    kp.elems = static_cast<std::uint32_t>(params.n);
+    kp.limbs = static_cast<std::uint32_t>(N);
+    return kp;
+}
+
+template <std::size_t N>
+std::string
+levelTag()
+{
+    return levelName(N == 1 ? SecurityLevel::Bits27
+                     : N == 2 ? SecurityLevel::Bits54
+                              : SecurityLevel::Bits109);
+}
+
+template <std::size_t N>
+void
+appendVecPlans(const pim::DpuConfig &cfg, bool multiply,
+               std::vector<KernelPlan> &out)
+{
+    const VecKernelParams kp = registryVecParams<N>();
+    // The footprint builder takes the planned tasklet count only to
+    // size the WRAM chunk note; the access model re-derives the layout
+    // per (t, N), so one plan per level covers the whole sweep.
+    out.push_back({vecKernelFootprint(kp, cfg, 12, multiply),
+                   levelTag<N>() + ", n=" + std::to_string(kp.elems)});
+}
+
+template <std::size_t N>
+void
+appendFusedPlans(const pim::DpuConfig &cfg, std::vector<KernelPlan> &out)
+{
+    FusedKernelParams fp;
+    fp.vec = registryVecParams<N>();
+    const std::uint64_t arr = fp.vec.mramB;
+    fp.mramC = 2 * arr;
+    fp.vec.mramOut = 3 * arr;
+    out.push_back(
+        {fusedKernelFootprint(fp, cfg, 12),
+         levelTag<N>() + ", n=" + std::to_string(fp.vec.elems)});
+}
+
+template <std::size_t N>
+void
+appendReducePlans(const pim::DpuConfig &cfg, std::vector<KernelPlan> &out)
+{
+    // One fold round of an 8-ciphertext tree reduction in the resident
+    // layout: slices of n elements packed back to back, the upper half
+    // added onto the lower in place (mramOut == mramA).
+    const auto params = standardParams<N>();
+    const std::uint64_t slice_bytes =
+        static_cast<std::uint64_t>(params.n) * N * 4;
+    const std::uint32_t hh = 4, pairs = 4;
+    VecKernelParams kp = registryVecParams<N>();
+    kp.mramA = 0;
+    kp.mramB = hh * slice_bytes;
+    kp.mramOut = 0;
+    kp.elems = static_cast<std::uint32_t>(pairs * params.n);
+    out.push_back(
+        {reduceRoundFootprint(kp, cfg, 12),
+         levelTag<N>() + ", 8->4 fold, n=" + std::to_string(params.n)});
+}
+
+template <std::size_t N>
+void
+appendConvPlans(const pim::DpuConfig &cfg, std::vector<KernelPlan> &out)
+{
+    const auto params = standardParams<N>();
+    // Largest power-of-two degree whose WRAM layout admits >= 1
+    // tasklet — the same envelope pim_verify and the tests stay in.
+    for (std::uint32_t n = static_cast<std::uint32_t>(params.n); n >= 4;
+         n /= 2) {
+        ConvKernelParams cp;
+        cp.n = n;
+        cp.limbs = static_cast<std::uint32_t>(N);
+        cp.mramA = 0;
+        cp.mramB = static_cast<std::uint64_t>(n) * N * 4;
+        cp.mramOut = 2 * cp.mramB;
+        const auto plain = convKernelFootprint(cp, cfg);
+        if (plain.maxTasklets < 1)
+            continue;
+        out.push_back({plain, levelTag<N>() + ", n=" +
+                                  std::to_string(n) + ", 1 DPU"});
+
+        // Sharded variant: shard 0 of a 4-DPU row split (the widest,
+        // which bounds the whole launch's footprint).
+        ConvKernelParams sp = cp;
+        const auto [b0, e0] = analysis::rowShardRange(n, 4, 0);
+        sp.rowBegin = b0;
+        sp.rowEnd = e0;
+        sp.mramMeta = sp.mramOut +
+                      std::uint64_t(e0 - b0) * sp.accLimbs() * 4;
+        out.push_back({convKernelFootprint(sp, cfg),
+                       levelTag<N>() + ", n=" + std::to_string(n) +
+                           ", 4-DPU shard"});
+        break;
+    }
+}
+
+inline void
+appendNttPlans(const pim::DpuConfig &cfg, std::vector<KernelPlan> &out)
+{
+    for (const std::uint32_t n : {256u, 1024u, 2048u}) {
+        const auto primes = findNttPrimes(30, 2ULL * n, 1);
+        if (primes.empty())
+            continue;
+        const auto nkp = makeNttParams(
+            static_cast<std::uint32_t>(primes.front()), n, /*count=*/4);
+        const auto fp = nttKernelFootprint(nkp, cfg);
+        if (fp.maxTasklets < 1)
+            continue;
+        out.push_back({fp, "n=" + std::to_string(n) + ", 4 pairs"});
+    }
+}
+
+} // namespace detail
+
+/** The registry: one row per shipped make*Kernel factory. */
+inline const std::vector<KernelFamily> &
+kernelRegistry()
+{
+    static const std::vector<KernelFamily> rows = {
+        {"makeVecAddModQKernel", "elementwise modular add",
+         [](const pim::DpuConfig &cfg) {
+             std::vector<KernelPlan> out;
+             detail::appendVecPlans<1>(cfg, false, out);
+             detail::appendVecPlans<2>(cfg, false, out);
+             detail::appendVecPlans<4>(cfg, false, out);
+             detail::appendReducePlans<1>(cfg, out);
+             detail::appendReducePlans<2>(cfg, out);
+             detail::appendReducePlans<4>(cfg, out);
+             return out;
+         }},
+        {"makeVecMulModQKernel", "elementwise modular multiply",
+         [](const pim::DpuConfig &cfg) {
+             std::vector<KernelPlan> out;
+             detail::appendVecPlans<1>(cfg, true, out);
+             detail::appendVecPlans<2>(cfg, true, out);
+             detail::appendVecPlans<4>(cfg, true, out);
+             return out;
+         }},
+        {"makeVecAddMulModQKernel", "fused elementwise add->mul",
+         [](const pim::DpuConfig &cfg) {
+             std::vector<KernelPlan> out;
+             detail::appendFusedPlans<1>(cfg, out);
+             detail::appendFusedPlans<2>(cfg, out);
+             detail::appendFusedPlans<4>(cfg, out);
+             return out;
+         }},
+        {"makeNegacyclicConvKernel", "negacyclic convolution",
+         [](const pim::DpuConfig &cfg) {
+             std::vector<KernelPlan> out;
+             detail::appendConvPlans<1>(cfg, out);
+             detail::appendConvPlans<2>(cfg, out);
+             detail::appendConvPlans<4>(cfg, out);
+             return out;
+         }},
+        {"makeNttMulKernel", "NTT polynomial product",
+         [](const pim::DpuConfig &cfg) {
+             std::vector<KernelPlan> out;
+             detail::appendNttPlans(cfg, out);
+             return out;
+         }},
+    };
+    return rows;
+}
+
+} // namespace pimhe_kernels
+} // namespace pimhe
+
+#endif // PIMHE_PIMHE_KERNEL_REGISTRY_H

@@ -155,6 +155,70 @@ runElementwise(pim::TaskletCtx &ctx, const VecKernelParams &p,
     }
 }
 
+/**
+ * Parametric per-tasklet access model of the chunked elementwise
+ * kernels, shared by the add/mul/fused/in-place-reduce footprints.
+ * Mirrors runElementwise (and the fused kernel body) exactly: WRAM
+ * buffer slots at id * buffers * chunk, and on MRAM the union of every
+ * chunk DMA, which tiles [begin*eb, roundUp8(end*eb)) contiguously
+ * because alignedTaskletRange keeps begin*eb a multiple of 8 and every
+ * non-tail chunk moves a multiple of 8 bytes.
+ */
+inline analysis::TaskletAccessFn
+elementwiseAccessModel(const VecKernelParams &p,
+                       const pim::DpuConfig &cfg, unsigned buffers,
+                       std::uint64_t mram_c = 0, bool has_c = false)
+{
+    return [p, cfg, buffers, mram_c,
+            has_c](unsigned t, unsigned N) {
+        std::vector<analysis::SymAccess> out;
+        if (N == 0 || t >= N)
+            return out;
+        const std::uint32_t eb = p.elemBytes();
+        const std::uint32_t chunk = wramChunkBytes(cfg, N, buffers);
+        const auto [begin, end] =
+            alignedTaskletRange(p.elems, eb, t, N);
+        if (begin >= end)
+            return out;
+        const std::uint32_t chunk_elems =
+            std::max<std::uint32_t>(1, chunk / eb);
+        // Per-iteration WRAM span: the largest single chunk staged,
+        // rounded to the DMA granule. When eb > chunk this honestly
+        // exceeds the buffer stride (the real hazard the verifier
+        // exists to catch); in the supported grid chunk >= 512 >= eb.
+        const std::uint64_t span =
+            (static_cast<std::uint64_t>(std::min<std::uint32_t>(
+                 chunk_elems, end - begin)) *
+                 eb +
+             7) /
+            8 * 8;
+        const std::uint64_t wbase =
+            static_cast<std::uint64_t>(t) * buffers * chunk;
+        static const char *const kSlot[] = {"A chunk", "B chunk",
+                                            "C chunk"};
+        for (unsigned i = 0; i < buffers; ++i) {
+            const std::uint64_t wb =
+                wbase + static_cast<std::uint64_t>(i) * chunk;
+            out.push_back({analysis::Space::Wram, 0, wb, wb + span,
+                           true,
+                           i + 1 == buffers ? "OUT chunk" : kSlot[i]});
+        }
+        const std::uint64_t mb = static_cast<std::uint64_t>(begin) * eb;
+        const std::uint64_t me =
+            (static_cast<std::uint64_t>(end) * eb + 7) / 8 * 8;
+        out.push_back({analysis::Space::Mram, 0, p.mramA + mb,
+                       p.mramA + me, false, "operand A"});
+        out.push_back({analysis::Space::Mram, 0, p.mramB + mb,
+                       p.mramB + me, false, "operand B"});
+        if (has_c)
+            out.push_back({analysis::Space::Mram, 0, mram_c + mb,
+                           mram_c + me, false, "operand C"});
+        out.push_back({analysis::Space::Mram, 0, p.mramOut + mb,
+                       p.mramOut + me, true, "result"});
+        return out;
+    };
+}
+
 } // namespace detail
 
 /**
@@ -239,6 +303,7 @@ vecKernelFootprint(const VecKernelParams &p, const pim::DpuConfig &cfg,
          analysis::alignmentOf(p.mramOut)});
     dma.wramAlign = 8; // chunk is a power of two >= 8
     fp.dmaPatterns = {dma};
+    fp.taskletAccess = detail::elementwiseAccessModel(p, cfg, 3);
     return fp;
 }
 
@@ -250,7 +315,9 @@ vecKernelFootprint(const VecKernelParams &p, const pim::DpuConfig &cfg,
  * as a single ReadWrite region so the verifier's cross-region clobber
  * check still applies between the accumulator and operand B — which a
  * correct round keeps disjoint by construction (the pair count never
- * exceeds the fold offset).
+ * exceeds the fold offset). The inherited access model evaluates with
+ * mramOut == mramA, so the symbolic prover re-derives that claim for
+ * every (t, N) instead of trusting this comment.
  */
 inline analysis::KernelFootprint
 reduceRoundFootprint(const VecKernelParams &p,
@@ -378,6 +445,8 @@ fusedKernelFootprint(const FusedKernelParams &p,
          analysis::alignmentOf(v.mramOut)});
     dma.wramAlign = 8;
     fp.dmaPatterns = {dma};
+    fp.taskletAccess =
+        detail::elementwiseAccessModel(v, cfg, 4, p.mramC, true);
     return fp;
 }
 
@@ -650,6 +719,44 @@ convKernelFootprint(const ConvKernelParams &p,
             analysis::alignmentOf(2 * poly_bytes));
         fp.dmaPatterns.push_back(meta);
     }
+
+    // Parametric access model, mirroring the kernel body: epoch 0 is
+    // tasklet 0 staging both operands (and the metadata block) into
+    // shared WRAM; the barrier() separates it from epoch 1, where
+    // every tasklet reads the shared area, owns one accumulator slot
+    // and writes a contiguous run of output rows. Rows use the widest
+    // shard, matching the declared region envelope.
+    fp.taskletAccess = [p, poly_bytes, acc_bytes, shared, sharded,
+                        rows](unsigned t, unsigned N) {
+        std::vector<analysis::SymAccess> out;
+        if (N == 0 || t >= N)
+            return out;
+        if (t == 0) {
+            out.push_back({analysis::Space::Wram, 0, 0, shared, true,
+                           "operand staging"});
+            out.push_back({analysis::Space::Mram, 0, p.mramA,
+                           p.mramA + poly_bytes, false, "operand A"});
+            out.push_back({analysis::Space::Mram, 0, p.mramB,
+                           p.mramB + poly_bytes, false, "operand B"});
+            if (sharded)
+                out.push_back({analysis::Space::Mram, 0, p.mramMeta,
+                               p.mramMeta + 8, false, "row metadata"});
+        }
+        out.push_back({analysis::Space::Wram, 1, 0, shared, false,
+                       "staged operands"});
+        const std::uint64_t wo =
+            shared + static_cast<std::uint64_t>(t) * acc_bytes;
+        out.push_back({analysis::Space::Wram, 1, wo, wo + acc_bytes,
+                       true, "accumulator slot"});
+        const auto [tb, te] = taskletRange(rows, t, N);
+        if (tb < te)
+            out.push_back(
+                {analysis::Space::Mram, 1,
+                 p.mramOut + static_cast<std::uint64_t>(tb) * acc_bytes,
+                 p.mramOut + static_cast<std::uint64_t>(te) * acc_bytes,
+                 true, "result rows"});
+        return out;
+    };
     return fp;
 }
 

@@ -289,6 +289,48 @@ nttKernelFootprint(const NttKernelParams &kp,
     stride.wramAlign =
         static_cast<std::uint32_t>(analysis::alignmentOf(poly_bytes));
     fp.dmaPatterns = {stride};
+
+    // Parametric access model, mirroring the kernel body: epoch 0 is
+    // tasklet 0 staging the twiddle tables; after the barrier every
+    // tasklet reads the shared tables, transforms pairs in its own
+    // two-polynomial WRAM slice, and moves whole-pair runs of the
+    // operand/result batches.
+    fp.taskletAccess = [kp, poly_bytes](unsigned t, unsigned N) {
+        std::vector<analysis::SymAccess> out;
+        if (N == 0 || t >= N)
+            return out;
+        const std::uint64_t tables = 2 * poly_bytes;
+        if (t == 0) {
+            out.push_back({analysis::Space::Wram, 0, 0, tables, true,
+                           "twiddle staging"});
+            out.push_back({analysis::Space::Mram, 0, kp.mramPsi,
+                           kp.mramPsi + poly_bytes, false,
+                           "psi table"});
+            out.push_back({analysis::Space::Mram, 0, kp.mramPsiInv,
+                           kp.mramPsiInv + poly_bytes, false,
+                           "psiInv table"});
+        }
+        out.push_back({analysis::Space::Wram, 1, 0, tables, false,
+                       "twiddle tables"});
+        const std::uint64_t slice =
+            tables + static_cast<std::uint64_t>(t) * tables;
+        out.push_back({analysis::Space::Wram, 1, slice, slice + tables,
+                       true, "(A,B) slice"});
+        const auto [pb, pe] = taskletRange(kp.count, t, N);
+        if (pb < pe) {
+            const std::uint64_t lo =
+                static_cast<std::uint64_t>(pb) * poly_bytes;
+            const std::uint64_t hi =
+                static_cast<std::uint64_t>(pe) * poly_bytes;
+            out.push_back({analysis::Space::Mram, 1, kp.mramA + lo,
+                           kp.mramA + hi, false, "operand A"});
+            out.push_back({analysis::Space::Mram, 1, kp.mramB + lo,
+                           kp.mramB + hi, false, "operand B"});
+            out.push_back({analysis::Space::Mram, 1, kp.mramOut + lo,
+                           kp.mramOut + hi, true, "result"});
+        }
+        return out;
+    };
     return fp;
 }
 

@@ -182,6 +182,7 @@ class PimHeSystem
             cache_.allocDeviceOnly(sa.comps, 1);
         fp.vec.mramOut = cache_.addrOf(out);
 
+        dpus_.plan().declareWriteTarget(out);
         dpus_.launch(tasklets_,
                      pimhe_kernels::makeVecAddMulModQKernel(fp),
                      pimhe_kernels::fusedKernelFootprint(
@@ -226,6 +227,10 @@ class PimHeSystem
             pimhe_kernels::VecKernelParams kp = vecParams(
                 addr, addr + std::uint64_t(hh) * s.sliceBytes, addr,
                 pairs * slice_elems);
+            // The fold legitimately writes the pinned region it also
+            // reads; declare it anew each round (declarations are
+            // consumed per launch).
+            dpus_.plan().declareWriteTarget(id);
             dpus_.launch(tasklets_,
                          pimhe_kernels::makeVecAddModQKernel(kp),
                          pimhe_kernels::reduceRoundFootprint(
@@ -355,6 +360,7 @@ class PimHeSystem
             cache_.allocDeviceOnly(sa.comps, count);
         kp.mramOut = cache_.addrOf(out);
 
+        dpus_.plan().declareWriteTarget(out);
         dpus_.launch(tasklets_,
                      multiply
                          ? pimhe_kernels::makeVecMulModQKernel(kp)
@@ -436,6 +442,10 @@ class PimHeSystem
             }
         }
 
+        // The kernel writes the result third of the scratch region
+        // (operand reads of the other thirds are unconstrained).
+        dpus_.plan().declareWriteTarget(
+            ResidentCache<N>::scratchPlanId(scratch));
         dpus_.launch(tasklets_,
                      multiply
                          ? pimhe_kernels::makeVecMulModQKernel(kp)

@@ -169,6 +169,10 @@ class ResidentCache
         e.addr = allocateWithEviction(e.regionBytes);
         e.deviceValid = true;
         const std::uint64_t id = nextId_++;
+        // Dirty from birth: the kernel's write is the only copy.
+        dpus_.plan().noteAlloc(id, e.addr, e.regionBytes,
+                               "resident region " + std::to_string(id));
+        dpus_.plan().noteDirty(id, true);
         entries_.emplace(id, std::move(e));
         return id;
     }
@@ -197,6 +201,8 @@ class ResidentCache
         e.addr = allocateWithEviction(e.regionBytes);
         uploadEntry(e);
         e.deviceValid = true;
+        dpus_.plan().noteAlloc(id, e.addr, e.regionBytes,
+                               "resident region " + std::to_string(id));
         stats_.misses += 1;
         bumpCounter("pimhe.resident.misses");
         return e.addr;
@@ -215,6 +221,8 @@ class ResidentCache
             PIMHE_ASSERT(e.deviceValid, "entry resident nowhere");
             downloadEntry(e);
             e.hostValid = true;
+            // Host copy is fresh again; a clobber is now recoverable.
+            dpus_.plan().noteDirty(id, false);
         }
         return e.host;
     }
@@ -224,14 +232,27 @@ class ResidentCache
     drop(std::uint64_t id)
     {
         Entry &e = entry(id);
-        if (e.deviceValid)
+        if (e.deviceValid) {
             alloc_.release(e.addr);
+            dpus_.plan().noteFree(id);
+        }
         entries_.erase(id);
     }
 
     /** Pin/unpin: pinned entries are never eviction candidates. */
-    void pin(std::uint64_t id) { entry(id).pinned = true; }
-    void unpin(std::uint64_t id) { entry(id).pinned = false; }
+    void
+    pin(std::uint64_t id)
+    {
+        entry(id).pinned = true;
+        dpus_.plan().notePin(id, true);
+    }
+
+    void
+    unpin(std::uint64_t id)
+    {
+        entry(id).pinned = false;
+        dpus_.plan().notePin(id, false);
+    }
 
     /**
      * The entry finished an in-place tree reduction: the result is the
@@ -247,6 +268,7 @@ class ResidentCache
         e.count = 1;
         e.hostValid = false;
         e.host.clear();
+        dpus_.plan().noteDirty(id, true);
     }
 
     const Shape &shape(std::uint64_t id) { return entry(id).shape; }
@@ -275,6 +297,8 @@ class ResidentCache
     {
         const std::uint64_t addr = allocateWithEviction(bytes);
         scratch_.insert(addr);
+        dpus_.plan().noteAlloc(scratchPlanId(addr), addr, bytes,
+                               "launch scratch");
         return addr;
     }
 
@@ -284,6 +308,16 @@ class ResidentCache
         PIMHE_ASSERT(scratch_.erase(addr) == 1,
                      "freeScratch of unknown region ", addr);
         alloc_.release(addr);
+        dpus_.plan().noteFree(scratchPlanId(addr));
+    }
+
+    /** Plan-verifier id of a scratch region. Scratch is keyed by
+     *  address, which can collide with the entry id counter; the top
+     *  bit keeps the two namespaces apart. */
+    static std::uint64_t
+    scratchPlanId(std::uint64_t addr)
+    {
+        return (1ull << 63) | addr;
     }
 
     const ResidentCacheStats &stats() const { return stats_; }
@@ -347,12 +381,15 @@ class ResidentCache
     evictOne()
     {
         Entry *victim = nullptr;
+        std::uint64_t victim_id = 0;
         for (auto &kv : entries_) {
             Entry &e = kv.second;
             if (!e.deviceValid || e.pinned)
                 continue;
-            if (victim == nullptr || e.lastUse < victim->lastUse)
+            if (victim == nullptr || e.lastUse < victim->lastUse) {
                 victim = &e;
+                victim_id = kv.first;
+            }
         }
         if (victim == nullptr)
             return false;
@@ -364,6 +401,7 @@ class ResidentCache
         }
         alloc_.release(victim->addr);
         victim->deviceValid = false;
+        dpus_.plan().noteFree(victim_id);
         stats_.evictions += 1;
         bumpCounter("pimhe.resident.evictions");
         return true;

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Footprint-coverage audit: every make*Kernel factory defined in
+ * src/pimhe must have a row in the kernel registry (and therefore a
+ * footprint builder with a parametric access model), and every
+ * registered plan must actually carry that model. The factory list is
+ * recovered from the sources themselves, so shipping a new kernel
+ * without registering it fails this test rather than silently
+ * shrinking prover coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "pimhe/kernel_registry.h"
+
+namespace pimhe {
+namespace {
+
+using namespace pimhe::pimhe_kernels;
+
+/** All make*Kernel factory names defined in src/pimhe headers. */
+std::set<std::string>
+factoriesInSources()
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(PIMHE_SOURCE_DIR) / "src" / "pimhe";
+    // A definition, not a call site: the factory name followed by its
+    // parameter list on a line that starts a function (the headers
+    // put the return type on the preceding line, so the name is at
+    // column 0).
+    const std::regex def(R"(^(make\w*Kernel)\s*\()");
+    std::set<std::string> out;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".h")
+            continue;
+        std::ifstream f(entry.path());
+        std::string line;
+        while (std::getline(f, line)) {
+            std::smatch m;
+            if (std::regex_search(line, m, def))
+                out.insert(m[1].str());
+        }
+    }
+    return out;
+}
+
+TEST(KernelRegistry, EveryShippedFactoryIsRegistered)
+{
+    const auto in_sources = factoriesInSources();
+    ASSERT_FALSE(in_sources.empty())
+        << "no factories found under " << PIMHE_SOURCE_DIR
+        << "/src/pimhe — source scan is broken";
+
+    std::set<std::string> registered;
+    for (const auto &family : kernelRegistry())
+        registered.insert(family.factory);
+
+    for (const auto &name : in_sources)
+        EXPECT_TRUE(registered.count(name))
+            << "factory " << name
+            << " ships without a registry row: add it to "
+               "kernel_registry.h with a footprint builder and a "
+               "parametric access model";
+    for (const auto &name : registered)
+        EXPECT_TRUE(in_sources.count(name))
+            << "registry row " << name
+            << " has no factory in src/pimhe — stale entry?";
+}
+
+TEST(KernelRegistry, EveryPlanCarriesAnAccessModel)
+{
+    const pim::DpuConfig cfg;
+    for (const auto &family : kernelRegistry()) {
+        const auto plans = family.plans(cfg);
+        EXPECT_FALSE(plans.empty())
+            << family.factory << " produced no launch plans";
+        for (const auto &plan : plans) {
+            EXPECT_TRUE(
+                static_cast<bool>(plan.footprint.taskletAccess))
+                << family.factory << " [" << plan.params
+                << "] footprint has no taskletAccess model — the "
+                   "symbolic prover cannot cover it";
+            EXPECT_FALSE(plan.footprint.kernel.empty())
+                << family.factory;
+            EXPECT_GE(plan.footprint.maxTasklets, 1u)
+                << family.factory << " [" << plan.params << "]";
+            EXPECT_FALSE(plan.footprint.mramRegions.empty())
+                << family.factory << " [" << plan.params << "]";
+        }
+    }
+}
+
+TEST(KernelRegistry, TitlesAndTagsAreDistinct)
+{
+    std::set<std::string> factories, titles;
+    for (const auto &family : kernelRegistry()) {
+        EXPECT_TRUE(factories.insert(family.factory).second)
+            << "duplicate registry row " << family.factory;
+        EXPECT_TRUE(titles.insert(family.title).second)
+            << "duplicate registry title " << family.title;
+    }
+}
+
+} // namespace
+} // namespace pimhe

@@ -11,8 +11,12 @@
 #      PIMHE_HOST_THREADS=16 to exercise the host-parallel engine,
 #   5. the pim_verify static sweep: the kernel x parameter grid must
 #      verify clean, and an injected violation must exit nonzero,
-#   6. clang-format --dry-run -Werror over src/pim/ (if installed),
-#   7. a clang-tidy build (if installed).
+#   6. the pim_prove symbolic sweep: every registered kernel family
+#      must prove race-free for all tasklet counts 1..24 and the plan
+#      scenarios must pass, while seeded races/lifetime violations
+#      must exit nonzero,
+#   7. clang-format --dry-run -Werror over src/pim/ (if installed),
+#   8. a clang-tidy build (if installed).
 #
 # All compiled legs build with -DPIMHE_WERROR=ON (warnings are errors)
 # and export compile_commands.json for clang tooling.
@@ -53,6 +57,23 @@ run_pim_verify() {
     echo "injected violations correctly rejected"
 }
 
+# Symbolic prover + plan verifier: the registry sweep must prove every
+# kernel race-free at every tasklet count (exit 0) and the seeded
+# race/lifetime violations must be caught (exit nonzero), keeping both
+# directions of the prover honest.
+run_pim_prove() {
+    local dir=$1
+    local bin="${dir}/tools-build/pim_prove"
+    echo "=== [${dir}] pim_prove sweep ==="
+    "${bin}"
+    echo "=== [${dir}] pim_prove --inject all (must fail) ==="
+    if "${bin}" --inject all > /dev/null; then
+        echo "pim_prove did not flag injected violations" >&2
+        return 1
+    fi
+    echo "injected violations correctly rejected"
+}
+
 run_config() {
     local name=$1
     shift
@@ -85,10 +106,17 @@ if [[ "${QUICK}" == "1" ]]; then
     echo "=== [plain] ctest -L unit ==="
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L unit
     run_pim_verify "${dir}"
+    run_pim_prove "${dir}"
 else
     run_config plain
     run_pim_verify build-check-plain
+    run_pim_prove build-check-plain
     run_config asan -DPIMHE_SANITIZE=address
+    # The resident-reuse ablation drives the arena allocator, the
+    # eviction path, and the plan-verifier event stream end to end;
+    # run it under ASan so lifetime bugs in that stack surface here.
+    echo "=== [asan] abl_resident_reuse ==="
+    ./build-check-asan/bench/abl_resident_reuse > /dev/null
     run_config ubsan -DPIMHE_SANITIZE=undefined
 
     # ThreadSanitizer leg: run the parallel-engine stress tests and
