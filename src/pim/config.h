@@ -15,11 +15,80 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/logging.h"
 #include "pim/checker.h"
 
 namespace pimhe {
 namespace pim {
+
+/**
+ * How DpuSet::launch executes a CompiledKernel (see pim/dpu.h):
+ *
+ *  - Interpret: per-intrinsic TaskletCtx interpretation — the
+ *    functional + timing oracle, with the dynamic conflict checker
+ *    attached when enabled.
+ *  - Fast: the kernel's FastKernel implementation — vectorized host
+ *    loops computing the same MRAM effects and charging the same
+ *    per-tasklet counters through the closed-form cost mirror. No
+ *    dynamic checker (the static verifier/prover still run).
+ *  - Shadow: both paths on every DPU; any divergence in semantic
+ *    outputs or modelled stats panics with the kernel, DPU and first
+ *    diverging byte range. Inherits all interpreter-side analyses.
+ *  - Auto: resolve from the PIMHE_EXEC_MODE environment variable
+ *    ("interpret" | "fast" | "shadow"), defaulting to Interpret.
+ *
+ * Kernels launched as a plain pim::Kernel (no compiled fast path)
+ * always interpret, regardless of mode.
+ */
+enum class ExecMode
+{
+    Auto,
+    Interpret,
+    Fast,
+    Shadow,
+};
+
+inline const char *
+execModeName(ExecMode m)
+{
+    switch (m) {
+    case ExecMode::Auto:
+        return "auto";
+    case ExecMode::Interpret:
+        return "interpret";
+    case ExecMode::Fast:
+        return "fast";
+    case ExecMode::Shadow:
+        return "shadow";
+    }
+    return "?";
+}
+
+/**
+ * Resolve ExecMode::Auto: PIMHE_EXEC_MODE when set (the tooling uses
+ * it to rerun whole suites under fast/shadow without code changes),
+ * otherwise Interpret. Explicit modes pass through untouched.
+ */
+inline ExecMode
+resolveExecMode(ExecMode configured)
+{
+    if (configured != ExecMode::Auto)
+        return configured;
+    const char *env = std::getenv("PIMHE_EXEC_MODE");
+    if (env == nullptr || *env == '\0')
+        return ExecMode::Interpret;
+    if (std::strcmp(env, "interpret") == 0)
+        return ExecMode::Interpret;
+    if (std::strcmp(env, "fast") == 0)
+        return ExecMode::Fast;
+    if (std::strcmp(env, "shadow") == 0)
+        return ExecMode::Shadow;
+    panic("unknown PIMHE_EXEC_MODE '", env,
+          "' (want interpret|fast|shadow)");
+}
 
 /** Per-DPU and system-level hardware parameters. */
 struct DpuConfig
@@ -104,6 +173,13 @@ struct SystemConfig
      * nothing; the test suite turns it on.
      */
     bool verifyBeforeLaunch = false;
+
+    /**
+     * Execution mode for compiled-kernel launches (see ExecMode).
+     * Resolved once per DpuSet via resolveExecMode(), so Auto defers
+     * to the PIMHE_EXEC_MODE environment variable.
+     */
+    ExecMode execMode = ExecMode::Auto;
 
     /**
      * Per-DPU MRAM budget the resident ciphertext cache may manage

@@ -16,9 +16,11 @@
 #ifndef PIMHE_PIM_DPU_H
 #define PIMHE_PIM_DPU_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
@@ -402,6 +404,79 @@ class TaskletCtx
 using Kernel = std::function<void(TaskletCtx &)>;
 
 /**
+ * Semantic output range of a compiled kernel in MRAM. Shadow mode
+ * compares exactly these bytes between the two paths: the interpreter
+ * additionally writes rounded-up DMA tails (stale WRAM bytes beyond
+ * the last element) that carry no semantics, so whole-image
+ * comparison would demand a byte-exact WRAM model for no verification
+ * value. Regions may over-approximate upward (bytes neither path
+ * touches compare equal by construction — the fast path starts from a
+ * copy of the same MRAM image).
+ */
+struct FastRegion
+{
+    std::uint64_t begin = 0; //!< first MRAM byte of the output
+    std::uint64_t end = 0;   //!< one past the last semantic byte
+    std::string name;        //!< region label for diagnostics
+};
+
+/**
+ * Execution context of a FastKernel: direct MRAM access plus the
+ * per-tasklet counters the implementation must charge exactly as the
+ * interpreter would. No WRAM and no TaskletCtx — that is the point.
+ */
+struct FastCtx
+{
+    Mram &mram;
+    unsigned numTasklets;
+    const DpuConfig &cfg;
+    DpuRunStats &stats;
+
+    /** Charge one DMA transfer to `tasklet`, mirroring
+     *  TaskletCtx::chargeDma (1 issue slot + transfer stats). */
+    void
+    chargeDma(unsigned tasklet, std::uint32_t bytes)
+    {
+        PIMHE_ASSERT(bytes >= 8 && bytes <= 2048 && bytes % 8 == 0,
+                     "DMA size must be 8..2048 bytes, 8-aligned; got ",
+                     bytes);
+        TaskletStats &ts = stats.tasklets[tasklet];
+        ts.instructions += 1;
+        ts.dmaTransfers += 1;
+        ts.dmaBytes += bytes;
+        ts.dmaStallCycles +=
+            cfg.dmaFixedCycles + cfg.dmaCyclesPerByte * bytes;
+    }
+};
+
+/**
+ * Fast implementation of a kernel: computes the per-tasklet MRAM
+ * effects with host loops and charges cycles via the closed-form
+ * mirror of the kernel's instruction stream. Must reproduce the
+ * interpreter bit-exactly — semantic outputs AND every modelled
+ * TaskletStats field — which shadow mode enforces.
+ */
+using FastKernelFn = std::function<void(FastCtx &)>;
+
+/**
+ * A kernel with both execution paths. The interpreter body is always
+ * present (it is the oracle and carries the dynamic checker); the
+ * fast body is optional — a null `fast` with a non-empty `waiver`
+ * documents an interpreter-only kernel, which every execution mode
+ * runs interpreted.
+ */
+struct CompiledKernel
+{
+    std::string name;    //!< kernel name for diagnostics
+    Kernel interpret;    //!< per-intrinsic oracle path
+    FastKernelFn fast;   //!< vectorized path; null => waiver
+    /** Semantic MRAM outputs shadow mode compares. */
+    std::vector<FastRegion> outputs;
+    /** Why there is no fast path (registry coverage audits this). */
+    std::string waiver;
+};
+
+/**
  * One DPU: WRAM + MRAM + the execution/timing model.
  */
 class Dpu
@@ -461,22 +536,177 @@ class Dpu
                       stats.conflicts.summary());
         }
 
+        finalizeCycles(stats, cfg_);
+        recordRunMetrics(stats);
+        return stats;
+    }
+
+    /**
+     * Execute a CompiledKernel under a resolved execution mode (see
+     * ExecMode in pim/config.h). Interpret — or any kernel without a
+     * fast body — defers to the interpreter run() above. Fast runs
+     * the FastKernel directly against this DPU's MRAM. Shadow runs
+     * the fast body against a copy of the MRAM image, the interpreter
+     * against the real one, and compares semantic outputs plus every
+     * modelled stats field; a divergence panics (or, with
+     * defer_fail_fast, lands in DpuRunStats::shadowDivergence for the
+     * launch engine to raise post-join in DPU index order).
+     */
+    DpuRunStats
+    run(unsigned num_tasklets, const CompiledKernel &kernel,
+        ExecMode mode, bool defer_fail_fast = false)
+    {
+        PIMHE_ASSERT(mode != ExecMode::Auto,
+                     "execution mode must be resolved before run()");
+        if (mode == ExecMode::Interpret || !kernel.fast)
+            return run(num_tasklets, kernel.interpret, defer_fail_fast);
+
+        if (mode == ExecMode::Fast) {
+            DpuRunStats stats = runFast(num_tasklets, kernel, mram_);
+            recordRunMetrics(stats);
+            return stats;
+        }
+
+        // Shadow: fast path on a snapshot, interpreter on the real
+        // bank, then a bit-exact comparison of both result surfaces.
+        Mram fast_mram = mram_;
+        const DpuRunStats fast_stats =
+            runFast(num_tasklets, kernel, fast_mram);
+        DpuRunStats stats =
+            run(num_tasklets, kernel.interpret, defer_fail_fast);
+        stats.shadowDivergence = describeShadowDivergence(
+            kernel, stats, fast_stats, mram_, fast_mram);
+        if (!stats.shadowDivergence.empty() && !defer_fail_fast)
+            panic("shadow-mode divergence: ", stats.shadowDivergence);
+        return stats;
+    }
+
+    /** The timing model shared by both execution paths (see run()). */
+    static void
+    finalizeCycles(DpuRunStats &stats, const DpuConfig &cfg)
+    {
         double issue_bound = 0;
         double tasklet_bound = 0;
         for (const auto &ts : stats.tasklets) {
             issue_bound += static_cast<double>(ts.instructions);
             const double own =
-                static_cast<double>(cfg_.dispatchInterval) *
+                static_cast<double>(cfg.dispatchInterval) *
                     static_cast<double>(ts.instructions) +
                 ts.dmaStallCycles;
             tasklet_bound = std::max(tasklet_bound, own);
         }
         stats.cycles = std::max(issue_bound, tasklet_bound);
-        recordRunMetrics(stats);
-        return stats;
+    }
+
+    /**
+     * Compare a shadow run's two result surfaces: every semantic
+     * output byte and every modelled stats field must match exactly
+     * (doubles included — both paths sum the same dyadic-rational
+     * terms in the same order). Returns the empty string on success,
+     * else a diagnostic naming the kernel and the first divergence.
+     */
+    static std::string
+    describeShadowDivergence(const CompiledKernel &kernel,
+                             const DpuRunStats &interp,
+                             const DpuRunStats &fast,
+                             const Mram &interp_mram,
+                             const Mram &fast_mram)
+    {
+        const std::string head = "kernel '" + kernel.name + "': ";
+        for (const auto &region : kernel.outputs) {
+            const std::string diff = compareRegion(
+                region, interp_mram, fast_mram);
+            if (!diff.empty())
+                return head + diff;
+        }
+        if (interp.tasklets.size() != fast.tasklets.size())
+            return head + "tasklet count interpreter=" +
+                   std::to_string(interp.tasklets.size()) + " fast=" +
+                   std::to_string(fast.tasklets.size());
+        for (std::size_t t = 0; t < interp.tasklets.size(); ++t) {
+            const TaskletStats &a = interp.tasklets[t];
+            const TaskletStats &b = fast.tasklets[t];
+            const std::string where =
+                "tasklet " + std::to_string(t) + ": ";
+            if (a.instructions != b.instructions)
+                return head + where + "instructions interpreter=" +
+                       std::to_string(a.instructions) + " fast=" +
+                       std::to_string(b.instructions);
+            if (a.dmaTransfers != b.dmaTransfers)
+                return head + where + "dmaTransfers interpreter=" +
+                       std::to_string(a.dmaTransfers) + " fast=" +
+                       std::to_string(b.dmaTransfers);
+            if (a.dmaBytes != b.dmaBytes)
+                return head + where + "dmaBytes interpreter=" +
+                       std::to_string(a.dmaBytes) + " fast=" +
+                       std::to_string(b.dmaBytes);
+            if (a.dmaStallCycles != b.dmaStallCycles)
+                return head + where + "dmaStallCycles interpreter=" +
+                       std::to_string(a.dmaStallCycles) + " fast=" +
+                       std::to_string(b.dmaStallCycles);
+        }
+        if (interp.cycles != fast.cycles)
+            return head + "modelled cycles interpreter=" +
+                   std::to_string(interp.cycles) + " fast=" +
+                   std::to_string(fast.cycles);
+        return {};
     }
 
   private:
+    /** Run the fast body against `mram`, producing finalized stats. */
+    DpuRunStats
+    runFast(unsigned num_tasklets, const CompiledKernel &kernel,
+            Mram &mram)
+    {
+        PIMHE_ASSERT(num_tasklets >= 1 &&
+                         num_tasklets <= cfg_.maxTasklets,
+                     "tasklet count out of range: ", num_tasklets);
+        DpuRunStats stats;
+        stats.tasklets.resize(num_tasklets);
+        FastCtx fctx{mram, num_tasklets, cfg_, stats};
+        kernel.fast(fctx);
+        finalizeCycles(stats, cfg_);
+        return stats;
+    }
+
+    /** Byte-compare one output region; empty string when identical. */
+    static std::string
+    compareRegion(const FastRegion &region, const Mram &interp_mram,
+                  const Mram &fast_mram)
+    {
+        constexpr std::uint64_t kChunk = 4096;
+        std::uint8_t a[kChunk];
+        std::uint8_t b[kChunk];
+        for (std::uint64_t off = region.begin; off < region.end;
+             off += kChunk) {
+            const std::uint64_t bytes =
+                std::min(kChunk, region.end - off);
+            interp_mram.read(off, a, bytes);
+            fast_mram.read(off, b, bytes);
+            for (std::uint64_t i = 0; i < bytes; ++i) {
+                if (a[i] == b[i])
+                    continue;
+                // Extend to the end of the contiguous diverging run
+                // within this chunk for the diagnostic.
+                std::uint64_t j = i;
+                while (j < bytes && a[j] != b[j])
+                    ++j;
+                std::string msg =
+                    "output '" + region.name + "' diverges in mram "
+                    "bytes [" + std::to_string(off + i) + ", " +
+                    std::to_string(off + j) + "): interpreter=";
+                for (std::uint64_t x = i;
+                     x < std::min(j, i + 8); ++x)
+                    msg += (x > i ? "," : "") + std::to_string(a[x]);
+                msg += " fast=";
+                for (std::uint64_t x = i;
+                     x < std::min(j, i + 8); ++x)
+                    msg += (x > i ? "," : "") + std::to_string(b[x]);
+                return msg;
+            }
+        }
+        return {};
+    }
     /**
      * Feed the metrics registry. Runs on whichever host thread
      * simulates this DPU, so only integer counters are recorded here:

@@ -7,9 +7,11 @@
 #define PIMHE_PIM_STATS_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "pim/checker.h"
+#include "pim/config.h"
 
 namespace pimhe {
 namespace pim {
@@ -32,6 +34,15 @@ struct DpuRunStats
     /** Checker findings for this run (empty unless cfg.checker is
      *  enabled — and then hopefully still empty). */
     ConflictReport conflicts;
+
+    /**
+     * Shadow-mode verdict: empty when the fast path reproduced the
+     * interpreter bit-exactly (or the run was not a shadow run), else
+     * a diagnostic naming the kernel, the diverging output byte range
+     * or stats field, and both values. DpuSet::launch panics on any
+     * non-empty entry after the join, in DPU index order.
+     */
+    std::string shadowDivergence;
 
     std::uint64_t
     totalInstructions() const
@@ -77,6 +88,9 @@ struct LaunchStats
 
     /** Host threads the execution engine used for this launch. */
     std::size_t hostThreads = 1;
+
+    /** Resolved execution mode this launch ran under (never Auto). */
+    ExecMode execMode = ExecMode::Interpret;
 
     /** Conflicts found across all DPUs of this launch. */
     std::uint64_t

@@ -50,7 +50,7 @@ class DpuSet
      * @param num_dpus DPUs to allocate; must not exceed cfg.numDpus.
      */
     DpuSet(const SystemConfig &cfg, std::size_t num_dpus)
-        : cfg_(cfg),
+        : cfg_(cfg), execMode_(resolveExecMode(cfg.execMode)),
           pool_(std::make_unique<ThreadPool>(
               resolveHostThreads(cfg.hostThreads)))
     {
@@ -64,6 +64,9 @@ class DpuSet
 
     std::size_t size() const { return dpus_.size(); }
     const SystemConfig &config() const { return cfg_; }
+
+    /** Resolved execution mode of this set (never Auto). */
+    ExecMode execMode() const { return execMode_; }
 
     /** The host thread pool launches run on; callers staging per-DPU
      *  data may reuse it for their own index-sliced parallel work. */
@@ -176,6 +179,24 @@ class DpuSet
     const LaunchStats &
     launch(unsigned num_tasklets, const Kernel &kernel)
     {
+        CompiledKernel ck;
+        ck.name = "<interpreter-only>";
+        ck.interpret = kernel;
+        ck.waiver = "plain Kernel launch carries no fast body";
+        return launch(num_tasklets, ck);
+    }
+
+    /**
+     * Compiled-kernel launch: same engine, but the per-DPU execution
+     * honours this set's resolved ExecMode (interpret / fast /
+     * shadow). A shadow divergence found on any DPU is raised here,
+     * after the join, for the lowest diverging DPU index — like the
+     * checker's deferred fail-fast, this keeps failure output
+     * deterministic at any host thread count.
+     */
+    const LaunchStats &
+    launch(unsigned num_tasklets, const CompiledKernel &kernel)
+    {
         obs::Tracer &tracer = obs::Tracer::global();
         obs::ScopedSpan host_span(tracer, 0, "DpuSet::launch");
 
@@ -191,11 +212,13 @@ class DpuSet
 
         stats.dpus.resize(dpus_.size());
         stats.hostThreads = pool_->threadCount();
+        stats.execMode =
+            kernel.fast ? execMode_ : ExecMode::Interpret;
         Timer wall;
         pool_->parallelFor(dpus_.size(), [&](std::size_t i) {
             obs::ScopedSpan dpu_span(tracer, i + 1, "dpu.run");
             stats.dpus[i] =
-                dpus_[i]->run(num_tasklets, kernel,
+                dpus_[i]->run(num_tasklets, kernel, execMode_,
                               /*defer_fail_fast=*/true);
             dpu_span.arg("dpu", static_cast<double>(i));
             dpu_span.arg("cycles", stats.dpus[i].cycles);
@@ -203,6 +226,9 @@ class DpuSet
         stats.hostWallMs = wall.elapsedMs();
 
         for (std::size_t i = 0; i < stats.dpus.size(); ++i) {
+            if (!stats.dpus[i].shadowDivergence.empty())
+                panic("shadow-mode divergence: dpu ", i, ", ",
+                      stats.dpus[i].shadowDivergence);
             if (cfg_.dpu.checker.failFast &&
                 !stats.dpus[i].conflicts.clean())
                 panic(describeLaunchFailure(i, stats.dpus[i].conflicts));
@@ -243,6 +269,33 @@ class DpuSet
     const LaunchStats &
     launch(unsigned num_tasklets, const Kernel &kernel,
            const analysis::KernelFootprint &footprint)
+    {
+        preLaunchVerify(num_tasklets, footprint);
+        return launch(num_tasklets, kernel);
+    }
+
+    /**
+     * Verified compiled-kernel launch: the same pre-launch static
+     * stack (budgets, symbolic prover, plan lifetimes) gates the
+     * launch, then execution honours this set's ExecMode. All three
+     * analyses run against the interpreter-side model regardless of
+     * mode, so fast-path launches keep their static guarantees and
+     * shadow launches additionally keep the dynamic checker.
+     */
+    const LaunchStats &
+    launch(unsigned num_tasklets, const CompiledKernel &kernel,
+           const analysis::KernelFootprint &footprint)
+    {
+        preLaunchVerify(num_tasklets, footprint);
+        return launch(num_tasklets, kernel);
+    }
+
+  private:
+    /** The verifyBeforeLaunch static stack shared by the verified
+     *  launch overloads (see the Kernel overload's contract). */
+    void
+    preLaunchVerify(unsigned num_tasklets,
+                    const analysis::KernelFootprint &footprint)
     {
         if (cfg_.verifyBeforeLaunch) {
             const analysis::LaunchVerifier verifier(cfg_.dpu);
@@ -305,8 +358,9 @@ class DpuSet
         } else {
             plan_.clearDeclaredTargets();
         }
-        return launch(num_tasklets, kernel);
     }
+
+  public:
 
     /** Report of the most recent verified launch attempt. */
     const analysis::VerifyReport &
@@ -494,6 +548,7 @@ class DpuSet
     }
 
     SystemConfig cfg_;
+    ExecMode execMode_;
     std::unique_ptr<ThreadPool> pool_;
     std::vector<std::unique_ptr<Dpu>> dpus_;
     std::vector<LaunchStats> launches_;

@@ -31,6 +31,7 @@
 #include "bfv/params.h"
 #include "modular/mod64.h"
 #include "pim/config.h"
+#include "pimhe/fast_kernels.h"
 #include "pimhe/kernels.h"
 #include "pimhe/ntt_kernel.h"
 
@@ -52,6 +53,18 @@ struct KernelFamily
     std::string title;   //!< short description for reports
     /** All launch plans of this family over the supported grid. */
     std::function<std::vector<KernelPlan>(const pim::DpuConfig &)> plans;
+
+    /**
+     * Build this family's CompiledKernel (fast_kernels.h) for a
+     * representative shape, proving a fast implementation exists and
+     * is wired to the same factory. Families without one must carry a
+     * non-empty fastWaiver explaining why they are interpreter-only;
+     * tests/test_kernel_registry.cpp enforces the either/or, so "every
+     * kernel has a fast path or an explicit waiver" is a checkable
+     * property rather than a convention.
+     */
+    std::function<pim::CompiledKernel()> compiled;
+    std::string fastWaiver; //!< reason a family is interpreter-only
 };
 
 namespace detail {
@@ -198,7 +211,9 @@ kernelRegistry()
              detail::appendReducePlans<2>(cfg, out);
              detail::appendReducePlans<4>(cfg, out);
              return out;
-         }},
+         },
+         [] { return compiledVecAddModQ(detail::registryVecParams<2>()); },
+         ""},
         {"makeVecMulModQKernel", "elementwise modular multiply",
          [](const pim::DpuConfig &cfg) {
              std::vector<KernelPlan> out;
@@ -206,7 +221,9 @@ kernelRegistry()
              detail::appendVecPlans<2>(cfg, true, out);
              detail::appendVecPlans<4>(cfg, true, out);
              return out;
-         }},
+         },
+         [] { return compiledVecMulModQ(detail::registryVecParams<2>()); },
+         ""},
         {"makeVecAddMulModQKernel", "fused elementwise add->mul",
          [](const pim::DpuConfig &cfg) {
              std::vector<KernelPlan> out;
@@ -214,7 +231,16 @@ kernelRegistry()
              detail::appendFusedPlans<2>(cfg, out);
              detail::appendFusedPlans<4>(cfg, out);
              return out;
-         }},
+         },
+         [] {
+             FusedKernelParams fp;
+             fp.vec = detail::registryVecParams<2>();
+             const std::uint64_t arr = fp.vec.mramB;
+             fp.mramC = 2 * arr;
+             fp.vec.mramOut = 3 * arr;
+             return compiledVecAddMulModQ(fp);
+         },
+         ""},
         {"makeNegacyclicConvKernel", "negacyclic convolution",
          [](const pim::DpuConfig &cfg) {
              std::vector<KernelPlan> out;
@@ -222,13 +248,29 @@ kernelRegistry()
              detail::appendConvPlans<2>(cfg, out);
              detail::appendConvPlans<4>(cfg, out);
              return out;
-         }},
+         },
+         [] {
+             ConvKernelParams cp;
+             cp.n = 64;
+             cp.limbs = 2;
+             cp.mramA = 0;
+             cp.mramB = 64ULL * 2 * 4;
+             cp.mramOut = 2 * cp.mramB;
+             return compiledNegacyclicConv(cp);
+         },
+         ""},
         {"makeNttMulKernel", "NTT polynomial product",
          [](const pim::DpuConfig &cfg) {
              std::vector<KernelPlan> out;
              detail::appendNttPlans(cfg, out);
              return out;
-         }},
+         },
+         [] {
+             const auto primes = findNttPrimes(30, 2ULL * 256, 1);
+             return compiledNttMul(makeNttParams(
+                 static_cast<std::uint32_t>(primes.front()), 256, 4));
+         },
+         ""},
     };
     return rows;
 }

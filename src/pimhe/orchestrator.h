@@ -32,6 +32,7 @@
 #include "bfv/ciphertext.h"
 #include "bfv/context.h"
 #include "pim/system.h"
+#include "pimhe/fast_kernels.h"
 #include "pimhe/kernels.h"
 #include "pimhe/resident.h"
 
@@ -184,7 +185,7 @@ class PimHeSystem
 
         dpus_.plan().declareWriteTarget(out);
         dpus_.launch(tasklets_,
-                     pimhe_kernels::makeVecAddMulModQKernel(fp),
+                     pimhe_kernels::compiledVecAddMulModQ(fp),
                      pimhe_kernels::fusedKernelFootprint(
                          fp, dpus_.config().dpu, tasklets_));
 
@@ -232,7 +233,7 @@ class PimHeSystem
             // consumed per launch).
             dpus_.plan().declareWriteTarget(id);
             dpus_.launch(tasklets_,
-                         pimhe_kernels::makeVecAddModQKernel(kp),
+                         pimhe_kernels::compiledVecAddModQ(kp),
                          pimhe_kernels::reduceRoundFootprint(
                              kp, dpus_.config().dpu, tasklets_));
             m = hh;
@@ -363,8 +364,8 @@ class PimHeSystem
         dpus_.plan().declareWriteTarget(out);
         dpus_.launch(tasklets_,
                      multiply
-                         ? pimhe_kernels::makeVecMulModQKernel(kp)
-                         : pimhe_kernels::makeVecAddModQKernel(kp),
+                         ? pimhe_kernels::compiledVecMulModQ(kp)
+                         : pimhe_kernels::compiledVecAddModQ(kp),
                      pimhe_kernels::vecKernelFootprint(
                          kp, dpus_.config().dpu, tasklets_, multiply));
 
@@ -448,8 +449,8 @@ class PimHeSystem
             ResidentCache<N>::scratchPlanId(scratch));
         dpus_.launch(tasklets_,
                      multiply
-                         ? pimhe_kernels::makeVecMulModQKernel(kp)
-                         : pimhe_kernels::makeVecAddModQKernel(kp),
+                         ? pimhe_kernels::compiledVecMulModQ(kp)
+                         : pimhe_kernels::compiledVecAddModQ(kp),
                      pimhe_kernels::vecKernelFootprint(
                          kp, dpus_.config().dpu, tasklets_, multiply));
 
@@ -620,7 +621,7 @@ class PimConvolver : public ExactConvolver<N>
         }
 
         dpus_.launch(tasklets_,
-                     pimhe_kernels::makeNegacyclicConvKernel(kp),
+                     pimhe_kernels::compiledNegacyclicConv(kp),
                      pimhe_kernels::convKernelFootprint(
                          kp, dpus_.config().dpu));
 

@@ -98,6 +98,34 @@ TEST(KernelRegistry, EveryPlanCarriesAnAccessModel)
     }
 }
 
+TEST(KernelRegistry, EveryFamilyHasAFastPathOrAWaiver)
+{
+    for (const auto &family : kernelRegistry()) {
+        const bool has_builder = static_cast<bool>(family.compiled);
+        EXPECT_TRUE(has_builder || !family.fastWaiver.empty())
+            << family.factory
+            << " has neither a compiled-kernel builder nor an "
+               "interpreter-only waiver: add a compiled* factory to "
+               "fast_kernels.h or record why the family must stay on "
+               "the interpreter";
+        if (!has_builder)
+            continue;
+        const pim::CompiledKernel ck = family.compiled();
+        EXPECT_TRUE(static_cast<bool>(ck.interpret))
+            << family.factory << " compiled kernel has no interpreter "
+                                 "body — shadow mode cannot check it";
+        EXPECT_TRUE(static_cast<bool>(ck.fast) || !ck.waiver.empty())
+            << family.factory
+            << " compiled kernel carries neither a fast body nor a "
+               "waiver";
+        if (ck.fast)
+            EXPECT_FALSE(ck.outputs.empty())
+                << family.factory
+                << " fast path declares no semantic output regions — "
+                   "shadow mode would compare nothing";
+    }
+}
+
 TEST(KernelRegistry, TitlesAndTagsAreDistinct)
 {
     std::set<std::string> factories, titles;

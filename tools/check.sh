@@ -9,6 +9,11 @@
 #   4. a ThreadSanitizer build running the concurrency-sensitive
 #      suites (labels `stress` and `differential`) with
 #      PIMHE_HOST_THREADS=16 to exercise the host-parallel engine,
+#   4b. the compiled-kernel fast-path leg: the differential suites
+#      rerun under PIMHE_EXEC_MODE=shadow on the ASan build (every
+#      fast kernel double-checked against the interpreter under
+#      memory sanitizing) and under PIMHE_EXEC_MODE=fast on the plain
+#      build (the mode the scaling benches ship with),
 #   5. the pim_verify static sweep: the kernel x parameter grid must
 #      verify clean, and an injected violation must exit nonzero,
 #   6. the pim_prove symbolic sweep: every registered kernel family
@@ -111,12 +116,27 @@ else
     run_config plain
     run_pim_verify build-check-plain
     run_pim_prove build-check-plain
+    # Fast-path leg, part 1: rerun the differential suites in pure
+    # fast mode on the plain build. Launch sites that construct their
+    # DpuSets with ExecMode::Auto resolve to the env override, so the
+    # whole BFV differential fuzz re-executes through the compiled
+    # fast kernels (shadow-grid tests pin their own modes and are
+    # unaffected).
+    echo "=== [plain] ctest -L differential (PIMHE_EXEC_MODE=fast) ==="
+    PIMHE_EXEC_MODE=fast ctest --test-dir build-check-plain \
+        --output-on-failure -j "${JOBS}" -L differential
     run_config asan -DPIMHE_SANITIZE=address
     # The resident-reuse ablation drives the arena allocator, the
     # eviction path, and the plan-verifier event stream end to end;
     # run it under ASan so lifetime bugs in that stack surface here.
     echo "=== [asan] abl_resident_reuse ==="
     ./build-check-asan/bench/abl_resident_reuse > /dev/null
+    # Fast-path leg, part 2: the same suites in shadow mode under
+    # ASan — every launch runs interpreter AND fast body and panics on
+    # any divergence, with the fast path's host loops sanitized.
+    echo "=== [asan] ctest -L differential (PIMHE_EXEC_MODE=shadow) ==="
+    PIMHE_EXEC_MODE=shadow ctest --test-dir build-check-asan \
+        --output-on-failure -j "${JOBS}" -L differential
     run_config ubsan -DPIMHE_SANITIZE=undefined
 
     # ThreadSanitizer leg: run the parallel-engine stress tests and
