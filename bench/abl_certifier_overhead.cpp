@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Ablation — static plan certification overhead: the noise-budget and
+ * cost abstract interpretation must be cheap enough to gate every
+ * launch. Sweeps plan size (add chains, tree reductions, relinearised
+ * mul chains) and reports certification latency against the modelled
+ * staged-PIM execution time of the same plan — the ratio is the
+ * price of running the verifyBeforeLaunch gate always-on.
+ */
+
+#include <chrono>
+
+#include "analysis/he_dag.h"
+#include "analysis/noise.h"
+#include "analysis/plan_cost.h"
+#include "bench_util.h"
+#include "bfv/params.h"
+#include "pimhe/cost_model.h"
+#include "pimhe/plan.h"
+
+using namespace pimhe;
+using namespace pimhe::bench;
+
+namespace {
+
+analysis::HeDag
+addChain(std::size_t depth)
+{
+    analysis::HeDag dag;
+    analysis::NodeId acc = dag.input();
+    for (std::size_t i = 1; i <= depth; ++i)
+        acc = dag.add(acc, dag.input());
+    dag.output(acc);
+    return dag;
+}
+
+analysis::HeDag
+treeReduce(std::size_t fan_in)
+{
+    analysis::HeDag dag;
+    std::vector<analysis::NodeId> terms;
+    for (std::size_t i = 0; i < fan_in; ++i)
+        terms.push_back(dag.input());
+    dag.output(dag.reduce(std::move(terms)));
+    return dag;
+}
+
+analysis::HeDag
+mulChain(std::size_t depth)
+{
+    analysis::HeDag dag;
+    analysis::NodeId acc = dag.input();
+    for (std::size_t i = 1; i <= depth; ++i)
+        acc = dag.mul(acc, dag.input());
+    dag.output(acc);
+    return dag;
+}
+
+double
+certifyMs(const analysis::HeDag &dag, const analysis::NoiseSpec &ns,
+          const analysis::CostSpec &cs, int reps)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+        const auto noise = analysis::analyzeNoise(dag, ns);
+        const auto cost = analysis::estimateCost(dag, cs);
+        if (!noise.ok() && cost.ok())
+            std::abort(); // keep the work observable
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0)
+               .count() /
+           reps;
+}
+
+} // namespace
+
+int
+main()
+{
+    Report report("abl_certifier_overhead", "S7",
+                  "static plan certification overhead",
+                  "certification latency well below the modelled "
+                  "PIM execution it gates");
+
+    const BfvParams<2> params = standardParams<2>();
+    const analysis::NoiseSpec ns =
+        analysis::specOfBfv<2>(params, "54-bit");
+    const PimCostModel model;
+    const analysis::CostSpec cs =
+        costSpecFor(model, 2, params.n, relinDigitsOf<2>(params),
+                    model.config().numDpus, "54-bit");
+    constexpr int kReps = 50;
+
+    Table t({"plan", "nodes", "certify (ms)", "pim-staged (ms)",
+             "overhead"});
+    std::vector<double> certify_ms, plan_ms;
+    const std::vector<std::pair<std::string, analysis::HeDag>>
+        plans = {
+            {"add-chain-8", addChain(8)},
+            {"add-chain-64", addChain(64)},
+            {"tree-reduce-64", treeReduce(64)},
+            {"tree-reduce-512", treeReduce(512)},
+            {"mul-chain-1", mulChain(1)},
+        };
+    for (const auto &[name, dag] : plans) {
+        const double cert = certifyMs(dag, ns, cs, kReps);
+        const auto cost = analysis::estimateCost(dag, cs);
+        const double staged = cost.pimStaged.totalMs();
+        t.addRow({name, std::to_string(dag.size()),
+                  Table::fmt(cert, 4), Table::fmt(staged, 3),
+                  Table::fmt(100.0 * cert / staged, 2) + "%"});
+        certify_ms.push_back(cert);
+        plan_ms.push_back(staged);
+    }
+    report.table(t);
+    report.series("certify_ms", certify_ms);
+    report.series("plan_ms", plan_ms);
+
+    // The gate's promise: certification is free relative to the PIM
+    // execution it fronts (verifyBeforeLaunch gates launches, not
+    // host-side arithmetic). The band is generous — the certify side
+    // is wall clock while the plan side is modelled time — but a
+    // ratio past 25% would mean the gate stopped being cheap.
+    double worst_ratio = 0;
+    for (std::size_t i = 0; i < certify_ms.size(); ++i)
+        worst_ratio =
+            std::max(worst_ratio, certify_ms[i] / plan_ms[i]);
+    report.bandCheck("worst certify/plan-time ratio", worst_ratio,
+                     0.0, 0.25);
+    return report.write();
+}

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Per-backend cost composition for HE op DAGs (see plan_cost.h).
+ */
+
+#include "analysis/plan_cost.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pimhe {
+namespace analysis {
+
+namespace {
+
+/** Where a node's value lives in the pim-resident walk. */
+enum class Loc : std::uint8_t
+{
+    Host,
+    Device,
+};
+
+/** Geometry and rate helpers shared by the three backend walks. */
+struct CostCtx
+{
+    const CostSpec &spec;
+    std::uint64_t elemBytes;
+    std::uint64_t ctElems;   //!< 2 components * n coefficients
+    std::uint64_t ctBytes;
+    std::uint64_t sliceBytes; //!< per-DPU resident slice stride
+    std::uint64_t sliceElems;
+    std::uint64_t convUpBytes;   //!< two operand polynomials
+    std::uint64_t convDownBytes; //!< n wide accumulators
+
+    explicit
+    CostCtx(const CostSpec &s)
+        : spec(s), elemBytes(s.limbs * 4),
+          ctElems(2ULL * s.n), ctBytes(ctElems * elemBytes),
+          sliceBytes(0), sliceElems(0), convUpBytes(0),
+          convDownBytes(0)
+    {
+        const std::uint64_t per_dpu =
+            (ctElems + s.numDpus - 1) / s.numDpus;
+        sliceBytes = (per_dpu * elemBytes + 7) / 8 * 8;
+        sliceElems = sliceBytes / elemBytes;
+        convUpBytes = 2ULL * s.n * elemBytes;
+        // accLimbs mirrors ConvKernelParams::accLimbs: 2*limbs + 1
+        // rounded up to an even limb count.
+        const std::uint64_t raw = 2 * s.limbs + 1;
+        convDownBytes = s.n * (raw + (raw & 1)) * 4;
+    }
+
+    double
+    xferMs(std::uint64_t bytes, double aggregate_gbps) const
+    {
+        if (bytes == 0)
+            return 0;
+        const double gbps = std::min(
+            aggregate_gbps,
+            spec.perDpuGbps * static_cast<double>(spec.numDpus));
+        return static_cast<double>(bytes) / (gbps * 1e6);
+    }
+
+    /** One elementwise launch over per-DPU `elems` elements. */
+    double
+    launchMs(const LinearCycleFit &fit, std::uint64_t per_dpu_elems)
+        const
+    {
+        const double cycles =
+            fit.base +
+            fit.slope * static_cast<double>(per_dpu_elems);
+        return cycles / (spec.clockMhz * 1e3);
+    }
+
+    /** Per-DPU elements of a whole-ciphertext elementwise op. */
+    std::uint64_t
+    perDpu(std::uint64_t elems) const
+    {
+        return (elems + spec.numDpus - 1) / spec.numDpus;
+    }
+
+    /** One row-sharded negacyclic convolution on the PIM system. */
+    double
+    convMs() const
+    {
+        const double nn = static_cast<double>(spec.n);
+        const double pair_cycles = spec.convCycles.linear * nn +
+                                   spec.convCycles.quadratic * nn * nn;
+        const std::uint64_t rows_per_dpu =
+            (spec.n + spec.numDpus - 1) / spec.numDpus;
+        return pair_cycles * static_cast<double>(rows_per_dpu) /
+               (nn * spec.clockMhz * 1e3);
+    }
+
+    double
+    hostElemMs(std::uint64_t elems, double ns_per_elem) const
+    {
+        return static_cast<double>(elems) * ns_per_elem /
+               (spec.hostThreads * 1e6);
+    }
+
+    /** One schoolbook convolution on the host (single conv = one
+     *  thread; the host parallelises across ciphertexts, not within
+     *  one product). */
+    double
+    hostConvMs() const
+    {
+        const double nn = static_cast<double>(spec.n);
+        return nn * nn * spec.hostConvMacNs / 1e6;
+    }
+
+    double overheadMs() const { return spec.launchOverheadUs / 1e3; }
+};
+
+/** Charge one PIM launch (kernel + overhead) to a backend. */
+void
+chargeLaunch(BackendCost &b, double kernel_ms, const CostCtx &c)
+{
+    b.kernelMs += kernel_ms;
+    b.overheadMs += c.overheadMs();
+    ++b.launches;
+}
+
+void
+chargeUpload(BackendCost &b, std::uint64_t bytes, const CostCtx &c)
+{
+    b.uploadedBytes += bytes;
+    b.transferMs += c.xferMs(bytes, c.spec.hostToDpuGbps);
+}
+
+void
+chargeDownload(BackendCost &b, std::uint64_t bytes, const CostCtx &c)
+{
+    b.downloadedBytes += bytes;
+    b.transferMs += c.xferMs(bytes, c.spec.dpuToHostGbps);
+}
+
+/** Convolutions one node expands into (0 = not conv-backed). */
+std::uint64_t
+convCount(const HeNode &node, const CostSpec &spec)
+{
+    switch (node.op) {
+      case HeOp::Mul:
+      case HeOp::FusedAddMul:
+        return 4 + 2 * spec.relinDigits;
+      case HeOp::Square:
+        return 3 + 2 * spec.relinDigits;
+      case HeOp::MulPlain:
+        return 2;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+std::string
+BackendCost::describe() const
+{
+    std::ostringstream os;
+    os << backend << ": " << std::fixed << std::setprecision(3)
+       << totalMs() << " ms (kernel " << kernelMs << ", transfer "
+       << transferMs << ", overhead " << overheadMs << "; "
+       << launches << " launch(es), " << uploadedBytes << " B up, "
+       << downloadedBytes << " B down, " << residentBytesReused
+       << " B reuse)";
+    return os.str();
+}
+
+std::string
+CostReport::summary() const
+{
+    std::ostringstream os;
+    if (!ok()) {
+        os << "cost '" << subject << "': REJECTED\n  "
+           << violations.front().describe();
+        return os.str();
+    }
+    os << "cost '" << subject << "': " << std::fixed
+       << std::setprecision(3) << pimStaged.totalMs()
+       << " ms staged, " << pimResident.totalMs() << " ms resident, "
+       << host.totalMs() << " ms host -> " << recommended;
+    return os.str();
+}
+
+CostReport
+estimateCost(const HeDag &dag, const CostSpec &spec)
+{
+    PIMHE_ASSERT(spec.n >= 1 && spec.limbs >= 1 && spec.numDpus >= 1,
+                 "degenerate cost spec");
+    const CostCtx c(spec);
+    CostReport report;
+    report.subject = spec.name;
+    report.pimStaged.backend = "pim-staged";
+    report.pimResident.backend = "pim-resident";
+    report.host.backend = "host";
+
+    BackendCost &st = report.pimStaged;
+    BackendCost &re = report.pimResident;
+    BackendCost &ho = report.host;
+
+    // pim-resident value locations; host/pim-staged keep everything
+    // on the host between launches.
+    std::vector<Loc> loc(dag.size(), Loc::Host);
+
+    // Ensure an operand is device-resident: a host value pays one
+    // upload, a device value counts as a re-upload avoided (the
+    // TransferTotals residency metric).
+    const auto ensureDevice = [&](NodeId id) {
+        if (loc[id] == Loc::Device) {
+            re.residentBytesReused += c.ctBytes;
+        } else {
+            chargeUpload(re, c.ctBytes, c);
+            loc[id] = Loc::Device;
+        }
+    };
+    // Materialise an operand on the host (device results pay one
+    // download; host values are free).
+    const auto ensureHost = [&](NodeId id) {
+        if (loc[id] == Loc::Device) {
+            chargeDownload(re, c.ctBytes, c);
+            loc[id] = Loc::Host;
+        }
+    };
+    // Resident arena obligation: `regions` pinned slices of
+    // `slices` * sliceBytes total per DPU.
+    const auto checkArena = [&](NodeId id, std::uint64_t slices,
+                                const char *what) {
+        const std::uint64_t need = slices * c.sliceBytes;
+        if (need > spec.residentArenaBytes) {
+            Violation v;
+            v.resource = Resource::Staging;
+            v.budget = spec.residentArenaBytes;
+            v.usage = need;
+            std::ostringstream os;
+            os << "resident arena: " << dag.describe(id) << " pins "
+               << slices << " slice(s) = " << need
+               << " bytes/DPU of " << spec.residentArenaBytes << " ("
+               << what << ")";
+            v.what = os.str();
+            report.violations.push_back(v);
+        }
+    };
+    // Shared convolution leg: `count` broadcast-staged convolutions
+    // through the PIM convolver (identical for both PIM backends),
+    // or host schoolbook products for the host backend.
+    const auto chargeConvs = [&](std::uint64_t count) {
+        for (BackendCost *b : {&st, &re}) {
+            for (std::uint64_t i = 0; i < count; ++i) {
+                chargeUpload(*b, c.convUpBytes, c);
+                chargeLaunch(*b, c.convMs(), c);
+                chargeDownload(*b, c.convDownBytes, c);
+            }
+        }
+        ho.kernelMs += static_cast<double>(count) * c.hostConvMs();
+    };
+
+    for (NodeId id = 0; id < dag.size(); ++id) {
+        const HeNode &node = dag[id];
+        const double st0 = st.totalMs();
+        const double re0 = re.totalMs();
+        const double ho0 = ho.totalMs();
+
+        switch (node.op) {
+          case HeOp::Input:
+            // Resident: registered with the cache, uploaded once.
+            chargeUpload(re, c.ctBytes, c);
+            loc[id] = Loc::Device;
+            break;
+
+          case HeOp::Add: {
+            // Staged: upload both operands, one elementwise launch,
+            // download the sum.
+            chargeUpload(st, 2 * c.ctBytes, c);
+            chargeLaunch(st, c.launchMs(spec.addCycles,
+                                        c.perDpu(c.ctElems)), c);
+            chargeDownload(st, c.ctBytes, c);
+            // Resident: operands stay in MRAM, output device-only.
+            checkArena(id, 3, "a, b and out of a binary resident op");
+            ensureDevice(node.args[0]);
+            ensureDevice(node.args[1]);
+            chargeLaunch(re, c.launchMs(spec.addCycles,
+                                        c.perDpu(c.ctElems)), c);
+            loc[id] = Loc::Device;
+            ho.kernelMs += c.hostElemMs(c.ctElems, spec.hostAddNs);
+            break;
+          }
+
+          case HeOp::Sub:
+          case HeOp::Negate:
+            // Host evaluator ops in every backend (no PIM kernel).
+            ensureHost(node.args[0]);
+            if (node.op == HeOp::Sub)
+                ensureHost(node.args[1]);
+            for (BackendCost *b : {&st, &re, &ho})
+                b->kernelMs +=
+                    c.hostElemMs(c.ctElems, spec.hostAddNs);
+            break;
+
+          case HeOp::AddPlain:
+            // Delta*m' scaling (n modular products) plus n additions,
+            // client-side in every backend.
+            ensureHost(node.args[0]);
+            for (BackendCost *b : {&st, &re, &ho})
+                b->kernelMs +=
+                    c.hostElemMs(spec.n, spec.hostMulNs) +
+                    c.hostElemMs(spec.n, spec.hostAddNs);
+            break;
+
+          case HeOp::MulScalar:
+            ensureHost(node.args[0]);
+            for (BackendCost *b : {&st, &re, &ho})
+                b->kernelMs +=
+                    c.hostElemMs(c.ctElems, spec.hostMulNs);
+            break;
+
+          case HeOp::MulPlain:
+            ensureHost(node.args[0]);
+            chargeConvs(convCount(node, spec));
+            break;
+
+          case HeOp::Mul:
+            ensureHost(node.args[0]);
+            ensureHost(node.args[1]);
+            chargeConvs(convCount(node, spec));
+            break;
+
+          case HeOp::Square:
+            ensureHost(node.args[0]);
+            chargeConvs(convCount(node, spec));
+            break;
+
+          case HeOp::FusedAddMul: {
+            // One fused/add launch for (a + b), then the tensor
+            // product against c. Staged pays the add round trip the
+            // resident path avoids.
+            chargeUpload(st, 2 * c.ctBytes, c);
+            chargeLaunch(st, c.launchMs(spec.addCycles,
+                                        c.perDpu(c.ctElems)), c);
+            chargeDownload(st, c.ctBytes, c);
+            checkArena(id, 3, "a, b and sum of the fused chain");
+            ensureDevice(node.args[0]);
+            ensureDevice(node.args[1]);
+            chargeLaunch(re, c.launchMs(spec.addCycles,
+                                        c.perDpu(c.ctElems)), c);
+            chargeDownload(re, c.ctBytes, c); // materialise the sum
+            ensureHost(node.args[2]);
+            ho.kernelMs += c.hostElemMs(c.ctElems, spec.hostAddNs);
+            chargeConvs(convCount(node, spec));
+            break;
+          }
+
+          case HeOp::Reduce: {
+            const std::uint64_t f = node.args.size();
+            // Resident: one packed upload, log2(f) in-place folds.
+            checkArena(id, f, "packed slices of a tree reduction");
+            for (const NodeId a : node.args)
+                ensureHost(a); // packed insert flattens host copies
+            chargeUpload(re, f * c.ctBytes, c);
+            std::uint64_t m = f;
+            while (m > 1) {
+                const std::uint64_t hh = (m + 1) / 2;
+                const std::uint64_t pairs = m - hh;
+                chargeLaunch(re,
+                             c.launchMs(spec.addCycles,
+                                        pairs * c.sliceElems), c);
+                m = hh;
+            }
+            loc[id] = Loc::Device;
+            // Staged: tree of staged adds, re-uploading every round.
+            m = f;
+            while (m > 1) {
+                const std::uint64_t half = m / 2;
+                chargeUpload(st, 2 * half * c.ctBytes, c);
+                chargeLaunch(st,
+                             c.launchMs(spec.addCycles,
+                                        c.perDpu(half * c.ctElems)),
+                             c);
+                chargeDownload(st, half * c.ctBytes, c);
+                m = half + (m % 2);
+            }
+            ho.kernelMs += static_cast<double>(f - 1) *
+                           c.hostElemMs(c.ctElems, spec.hostAddNs);
+            break;
+          }
+
+          case HeOp::Output:
+            ensureHost(node.args[0]);
+            break;
+        }
+
+        OpCostRow row;
+        row.node = id;
+        row.op = node.op;
+        row.pimStagedMs = st.totalMs() - st0;
+        row.pimResidentMs = re.totalMs() - re0;
+        row.hostMs = ho.totalMs() - ho0;
+        report.rows.push_back(row);
+    }
+
+    const BackendCost *best = &report.pimStaged;
+    for (const BackendCost *b : {&report.pimResident, &report.host})
+        if (b->totalMs() < best->totalMs())
+            best = b;
+    report.recommended = best->backend;
+    return report;
+}
+
+} // namespace analysis
+} // namespace pimhe

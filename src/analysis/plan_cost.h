@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Static per-backend cost prediction for HE op DAGs.
+ *
+ * Composes the already-validated closed-form cycle model (the
+ * linear/quadratic fits PimCostModel probes out of the simulator —
+ * never hand-derived; see pimhe/cost_model.h and pimhe/plan.h for the
+ * bridge that fills a CostSpec from real probes) with
+ * TransferTotals-shape transfer/residency accounting into whole-plan
+ * cost predictions for three backends:
+ *
+ *  - "pim-staged":   every PIM op uploads its operands and downloads
+ *                    its result (the paper's measurement setup);
+ *  - "pim-resident": operands are uploaded once and chained ops reuse
+ *                    them in MRAM (the resident cache path); the
+ *                    bytes a plan avoids re-uploading are reported as
+ *                    residentBytesReused, mirroring
+ *                    pim::TransferTotals;
+ *  - "host":         the analytic CPU baseline (perf/models.h
+ *                    constants), no bus traffic.
+ *
+ * The same walk checks the resident arena capacity obligations: a
+ * tree reduction pins fan-in * sliceBytes per DPU at once, and a
+ * binary resident op pins three regions; a plan that cannot fit is
+ * rejected with an exact Resource::Staging violation (the "reduce
+ * fan-in too wide" class) using only arithmetic — no simulated cycle
+ * and no probe runs for a rejected plan.
+ *
+ * Modelling notes (kept deliberately explicit so the predictions are
+ * auditable):
+ *  - Mul/Square expand into 4 (resp. 3) tensor convolutions plus
+ *    2*relinDigits key-switch convolutions, each broadcast-staged the
+ *    way PimConvolver runs them; MulPlain is 2 convolutions.
+ *  - AddPlain/MulScalar are host-side client ops in every backend
+ *    (they never launch kernels in PimHeSystem).
+ *  - In the PIM backends a Mul result lives on the host (the tensor
+ *    product runs through the convolver), so a resident consumer pays
+ *    one re-upload — exactly what the plan runner does.
+ */
+
+#ifndef PIMHE_ANALYSIS_PLAN_COST_H
+#define PIMHE_ANALYSIS_PLAN_COST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/he_dag.h"
+#include "analysis/verifier.h"
+
+namespace pimhe {
+namespace analysis {
+
+/** cycles(elems) = base + slope * elems (one DPU, fixed tasklets). */
+struct LinearCycleFit
+{
+    double base = 0;
+    double slope = 0;
+};
+
+/** cycles(n) = linear * n + quadratic * n^2 per convolution pair. */
+struct QuadCycleFit
+{
+    double linear = 0;
+    double quadratic = 0;
+};
+
+/**
+ * Everything the cost composition needs, as plain numbers: geometry,
+ * machine rates, probed kernel fits and host-model constants. Fill it
+ * from real probes with pimhe::costSpecFor (pimhe/plan.h); hand-rolled
+ * specs are for tests and injection only.
+ */
+struct CostSpec
+{
+    std::string name;      //!< parameter-set label for reports
+    std::size_t limbs = 1; //!< 32-bit limbs per coefficient
+    std::size_t n = 0;     //!< ring degree
+    std::size_t relinDigits = 0; //!< l = ceil(bits(q)/w)
+
+    // Machine shape (defaults: the paper's gen1 system).
+    std::size_t numDpus = 1;
+    double clockMhz = 425.0;
+    double hostToDpuGbps = 6.0;
+    double dpuToHostGbps = 4.4;
+    double perDpuGbps = 0.33; //!< per-DPU bus ceiling (pim/system.h)
+    double launchOverheadUs = 20.0;
+    std::uint64_t residentArenaBytes = 64ULL << 20;
+
+    // Probed kernel fits (simulator-derived, see pimhe/plan.h).
+    LinearCycleFit addCycles;
+    LinearCycleFit mulCycles;
+    QuadCycleFit convCycles;
+
+    // Host baseline constants (perf/calibration.h shapes).
+    double hostAddNs = 1.8;
+    double hostMulNs = 80.0;
+    double hostConvMacNs = 1.0;
+    double hostThreads = 4.0;
+    double hostStreamGbps = 21.0;
+};
+
+/** Whole-plan cost of one backend, TransferTotals-shaped. */
+struct BackendCost
+{
+    std::string backend;
+    double kernelMs = 0;   //!< modelled kernel/compute time
+    double transferMs = 0; //!< modelled bus time
+    double overheadMs = 0; //!< launch overheads
+    std::uint64_t uploadedBytes = 0;
+    std::uint64_t downloadedBytes = 0;
+    std::uint64_t residentBytesReused = 0; //!< re-uploads avoided
+    std::size_t launches = 0;
+
+    double totalMs() const { return kernelMs + transferMs + overheadMs; }
+    std::string describe() const;
+};
+
+/** Per-node cost row (audit detail for reports and the CLI). */
+struct OpCostRow
+{
+    NodeId node = 0;
+    HeOp op = HeOp::Input;
+    double pimStagedMs = 0;
+    double pimResidentMs = 0;
+    double hostMs = 0;
+};
+
+/** Outcome of costing one DAG against one CostSpec. */
+struct CostReport
+{
+    std::string subject;
+    std::vector<Violation> violations; //!< resident-capacity checks
+    BackendCost pimStaged;
+    BackendCost pimResident;
+    BackendCost host;
+    std::vector<OpCostRow> rows;
+    std::string recommended; //!< cheapest backend (when ok())
+
+    bool ok() const { return violations.empty(); }
+    std::string summary() const;
+};
+
+/**
+ * Walk the DAG once per backend and compose per-node cost and
+ * transfer charges into whole-plan predictions. Pure arithmetic:
+ * never launches, never probes (the fits in the spec were probed by
+ * the caller, once per width).
+ */
+CostReport estimateCost(const HeDag &dag, const CostSpec &spec);
+
+} // namespace analysis
+} // namespace pimhe
+
+#endif // PIMHE_ANALYSIS_PLAN_COST_H

@@ -96,18 +96,45 @@ class Decryptor
     }
 
     /**
-     * Invariant noise budget in bits, as SEAL reports it: the number
-     * of bits of headroom before decryption starts failing. Negative
-     * means the ciphertext is already undecryptable.
+     * Exact invariant noise budget in bits: bits(q) - 1 - bits(e)
+     * with e the centred noise magnitude, computed entirely over
+     * WideInt bit lengths (no floating point anywhere). Negative
+     * means the ciphertext is already undecryptable. This is the
+     * value the static certifier's bounds are validated against.
+     */
+    std::int64_t
+    noiseBudgetBitsExact(const Ciphertext<N> &ct,
+                         const Plaintext &expected) const
+    {
+        const std::size_t q_bits = ctx_.ring().modulus().bitLength();
+        const std::size_t noise_bits =
+            maxNoiseMagnitude(ct, expected).bitLength();
+        return static_cast<std::int64_t>(q_bits) - 1 -
+               static_cast<std::int64_t>(noise_bits);
+    }
+
+    /**
+     * Invariant noise budget in bits, as SEAL reports it. Display
+     * convenience only: delegates to the exact integer path and
+     * widens — never compute with this (at wide q the double
+     * round-trip is what noiseBudgetBitsExact exists to avoid).
      */
     double
     noiseBudgetBits(const Ciphertext<N> &ct,
                     const Plaintext &expected) const
     {
+        return static_cast<double>(noiseBudgetBitsExact(ct, expected));
+    }
+
+  private:
+    /** max_i |centred(v_i - Delta*m_i)| — the noise magnitude the
+     *  budget is measured from. */
+    WideInt<N>
+    maxNoiseMagnitude(const Ciphertext<N> &ct,
+                      const Plaintext &expected) const
+    {
         const auto &ring = ctx_.ring();
         const auto v = noisyMessage(ct);
-        // noise = v - Delta*m  (centred); budget =
-        // log2(q / (2 * |noise|)).
         WideInt<N> max_mag;
         for (std::size_t i = 0; i < ring.degree(); ++i) {
             const auto dm = ring.reducer().mulMod(
@@ -119,14 +146,9 @@ class Decryptor
             if (mag > max_mag)
                 max_mag = mag;
         }
-        const double q_bits =
-            static_cast<double>(ring.modulus().bitLength());
-        const double noise_bits =
-            static_cast<double>(max_mag.bitLength());
-        return q_bits - 1.0 - noise_bits;
+        return max_mag;
     }
 
-  private:
     /** c0 + c1 s (+ c2 s^2) mod q. */
     Polynomial<N>
     noisyMessage(const Ciphertext<N> &ct) const

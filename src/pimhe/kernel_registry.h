@@ -82,6 +82,13 @@ registryVecParams()
     kp.mramOut = 2 * arr;
     kp.elems = static_cast<std::uint32_t>(params.n);
     kp.limbs = static_cast<std::uint32_t>(N);
+    // Real modulus shape, so registry-built compiled kernels are
+    // actually runnable (the suppression audit executes them).
+    kp.k = static_cast<std::uint32_t>(params.q.bitLength());
+    kp.c = static_cast<std::uint32_t>(
+        (WideInt<N>::oneShl(kp.k) - params.q).toUint64());
+    for (std::size_t l = 0; l < N && l < 4; ++l)
+        kp.q[l] = params.q.limb(l);
     return kp;
 }
 

@@ -29,11 +29,16 @@
 #include <span>
 #include <vector>
 
+#include "analysis/he_dag.h"
+#include "analysis/noise.h"
+#include "analysis/plan_cost.h"
 #include "bfv/ciphertext.h"
 #include "bfv/context.h"
+#include "bfv/evaluator.h"
 #include "pim/system.h"
 #include "pimhe/fast_kernels.h"
 #include "pimhe/kernels.h"
+#include "pimhe/plan.h"
 #include "pimhe/resident.h"
 
 namespace pimhe {
@@ -77,7 +82,7 @@ class PimHeSystem
                 std::size_t num_dpus, unsigned tasklets = 12)
         : ctx_(ctx), dpus_(cfg, num_dpus), tasklets_(tasklets),
           pm_(PseudoMersenne<N>::of(ctx.ring().modulus())),
-          cache_(ctx, dpus_)
+          cache_(ctx, dpus_), costModel_(cfg, tasklets)
     {
         static_assert(N <= 4, "kernels support up to 128-bit widths");
     }
@@ -281,6 +286,180 @@ class PimHeSystem
             cur = std::move(sums);
         }
         return cur.front();
+    }
+
+    // ------------------------------------------------------------------
+    // Plan certification and execution (the static HE-plan certifier).
+    //
+    // analysis::HeDag is the plan builder: construct one with its
+    // input/add/mul/... methods, certify it against this system's
+    // parameter set, then bind it to concrete ciphertexts with
+    // runPlan. Certifying the whole op stream as one plan replaces
+    // op-by-op hoping: an over-deep chain is rejected with the exact
+    // op and depth that exhausts the noise budget, before any launch.
+    // ------------------------------------------------------------------
+
+    /** Fresh empty plan (convenience; HeDag is the builder API). */
+    static analysis::HeDag makePlan() { return {}; }
+
+    /** Noise-analysis view of this system's parameter set. */
+    analysis::NoiseSpec
+    noiseSpec(const std::string &name) const
+    {
+        return analysis::specOfBfv<N>(ctx_.params(), name);
+    }
+
+    /**
+     * Statically certify a plan against this system: worst-case noise
+     * bounds (decryptability at every Output), resident-capacity
+     * obligations, and per-backend cost predictions. Strictly ordered
+     * so a rejected plan never causes a simulated cycle: the noise
+     * and capacity checks are pure arithmetic, and only an accepted
+     * plan pays for probing the kernel cycle fits. Reports are
+     * retained in lastNoiseCheck() / lastCostEstimate() either way.
+     */
+    bool
+    certifyPlan(const analysis::HeDag &dag,
+                const std::string &tag = "plan")
+    {
+        noiseCheck_ = analysis::analyzeNoise(dag, noiseSpec(tag));
+        hasNoiseCheck_ = true;
+        const std::size_t digits = relinDigitsOf<N>(ctx_.params());
+        // Capacity first with unprobed (zero) fits: the violation
+        // walk needs only geometry, and the ms fields of a rejected
+        // plan are meaningless anyway.
+        costEstimate_ = analysis::estimateCost(
+            dag, costSpecShape(dpus_.config(), N,
+                               ctx_.ring().degree(), digits,
+                               dpus_.size(), tag));
+        hasCostEstimate_ = true;
+        if (!noiseCheck_.ok() || !costEstimate_.ok())
+            return false;
+        costEstimate_ = analysis::estimateCost(
+            dag, costSpecFor(costModel_, N, ctx_.ring().degree(),
+                             digits, dpus_.size(), tag));
+        return true;
+    }
+
+    /** Noise report of the most recent certifyPlan (or the one
+     *  runPlan performed under verifyBeforeLaunch). */
+    const analysis::NoiseReport &
+    lastNoiseCheck() const
+    {
+        PIMHE_ASSERT(hasNoiseCheck_, "no plan certified yet");
+        return noiseCheck_;
+    }
+
+    /** Cost report of the most recent certifyPlan. */
+    const analysis::CostReport &
+    lastCostEstimate() const
+    {
+        PIMHE_ASSERT(hasCostEstimate_, "no plan certified yet");
+        return costEstimate_;
+    }
+
+    /**
+     * Execute a certified plan with real HE semantics: Input binds
+     * the next caller ciphertext, Add runs on the PIM system, Reduce
+     * runs the resident tree reduction, Mul/Square/FusedAddMul run
+     * the BFV tensor product through the context's convolver (PIM-
+     * backed when a PimConvolver is installed) with relinearisation,
+     * and the client-side ops use the host Evaluator. Returns the
+     * Output values in creation order.
+     *
+     * Under cfg.verifyBeforeLaunch the plan is certified first and a
+     * rejection panics with the exact witness — before any launch,
+     * probe or simulated cycle.
+     */
+    std::vector<Ciphertext<N>>
+    runPlan(const analysis::HeDag &dag,
+            const std::vector<Ciphertext<N>> &inputs,
+            const std::vector<Plaintext> &plains = {},
+            const RelinKey<N> *rlk = nullptr)
+    {
+        PIMHE_ASSERT(inputs.size() == dag.inputs().size(),
+                     "plan expects ", dag.inputs().size(),
+                     " input ciphertext(s), got ", inputs.size());
+        if (dpus_.config().verifyBeforeLaunch) {
+            const bool certified = certifyPlan(dag, "runPlan");
+            PIMHE_ASSERT(certified,
+                         "pre-launch plan certification failed\n",
+                         !noiseCheck_.ok() ? noiseCheck_.summary()
+                                           : costEstimate_.summary());
+        }
+        const Evaluator<N> ev(ctx_);
+        std::vector<Ciphertext<N>> val(dag.size());
+        std::vector<Ciphertext<N>> outs;
+        std::size_t next_input = 0;
+        for (analysis::NodeId id = 0; id < dag.size(); ++id) {
+            const analysis::HeNode &node = dag[id];
+            const auto arg = [&](std::size_t i) -> const Ciphertext<N> & {
+                return val[node.args[i]];
+            };
+            const auto plain = [&](std::uint32_t idx)
+                -> const Plaintext & {
+                PIMHE_ASSERT(idx < plains.size(),
+                             "plan references plaintext slot ", idx,
+                             " but only ", plains.size(),
+                             " provided");
+                return plains[idx];
+            };
+            const auto needRlk = [&]() -> const RelinKey<N> & {
+                PIMHE_ASSERT(rlk != nullptr && !rlk->empty(),
+                             "plan multiplies; a relinearisation key "
+                             "is required");
+                return *rlk;
+            };
+            switch (node.op) {
+              case analysis::HeOp::Input:
+                val[id] = inputs[next_input++];
+                break;
+              case analysis::HeOp::Add:
+                val[id] = addCiphertextVectors({arg(0)}, {arg(1)})
+                              .front();
+                break;
+              case analysis::HeOp::Sub:
+                val[id] = ev.sub(arg(0), arg(1));
+                break;
+              case analysis::HeOp::Negate:
+                val[id] = ev.negate(arg(0));
+                break;
+              case analysis::HeOp::AddPlain:
+                val[id] = ev.addPlain(arg(0), plain(node.plainIdx));
+                break;
+              case analysis::HeOp::MulPlain:
+                val[id] = ev.mulPlain(arg(0), plain(node.plainIdx));
+                break;
+              case analysis::HeOp::MulScalar:
+                val[id] = ev.mulScalar(arg(0), node.scalar);
+                break;
+              case analysis::HeOp::Mul:
+                val[id] = ev.multiplyRelin(arg(0), arg(1), needRlk());
+                break;
+              case analysis::HeOp::Square:
+                val[id] = ev.relinearize(ev.square(arg(0)), needRlk());
+                break;
+              case analysis::HeOp::FusedAddMul: {
+                const Ciphertext<N> sum =
+                    addCiphertextVectors({arg(0)}, {arg(1)}).front();
+                val[id] = ev.multiplyRelin(sum, arg(2), needRlk());
+                break;
+              }
+              case analysis::HeOp::Reduce: {
+                std::vector<Ciphertext<N>> terms;
+                terms.reserve(node.args.size());
+                for (const analysis::NodeId a : node.args)
+                    terms.push_back(val[a]);
+                val[id] = reduceCiphertexts(terms);
+                break;
+              }
+              case analysis::HeOp::Output:
+                val[id] = arg(0);
+                outs.push_back(val[id]);
+                break;
+            }
+        }
+        return outs;
     }
 
     /** Cache counters of the resident layer (hits, misses,
@@ -531,6 +710,11 @@ class PimHeSystem
     unsigned tasklets_;
     PseudoMersenne<N> pm_;
     ResidentCache<N> cache_;
+    PimCostModel costModel_; //!< fit probes for certifyPlan (cached)
+    analysis::NoiseReport noiseCheck_;
+    analysis::CostReport costEstimate_;
+    bool hasNoiseCheck_ = false;
+    bool hasCostEstimate_ = false;
 };
 
 /**

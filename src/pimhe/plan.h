@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Bridge between the static plan certifier (analysis/noise.h,
+ * analysis/plan_cost.h) and the concrete PIM-HE stack.
+ *
+ * The cost layer deliberately takes only plain numbers (CostSpec), so
+ * its predictions are auditable and its tests need no simulator. This
+ * header fills a CostSpec from reality:
+ *
+ *  - the kernel cycle fits come from PimCostModel's public probe
+ *    entry points (simulateElementwiseCycles / simulate-
+ *    ConvolutionCycles), evaluated at the same two exact-tiling
+ *    shapes the model itself fits at — never hand-entered numbers;
+ *  - machine shape (DPU count, clock, bus rates, launch overhead,
+ *    resident arena) comes from the live pim::SystemConfig;
+ *  - the host baseline constants come from perf::CpuCalibration.
+ *
+ * Probing runs a handful of tiny simulations per coefficient width;
+ * PimHeSystem::certifyPlan therefore orders noise and capacity checks
+ * (pure arithmetic) strictly before the first probe, so a rejected
+ * plan never causes a simulated cycle.
+ */
+
+#ifndef PIMHE_PIMHE_PLAN_H
+#define PIMHE_PIMHE_PLAN_H
+
+#include <string>
+
+#include "analysis/plan_cost.h"
+#include "perf/calibration.h"
+#include "pimhe/cost_model.h"
+#include "pimhe/resident.h"
+
+namespace pimhe {
+
+/** Fit cycles(elems) = base + slope*elems from two probe shapes that
+ *  are exact multiples of the tasklet x chunk tiling. */
+inline analysis::LinearCycleFit
+probeElementwiseFit(const PimCostModel &model, perf::OpKind op,
+                    std::size_t limbs)
+{
+    const std::uint32_t chunk =
+        pimhe_kernels::wramChunkBytes(model.config().dpu,
+                                      model.tasklets()) /
+        static_cast<std::uint32_t>(limbs * 4);
+    const std::size_t e1 =
+        static_cast<std::size_t>(model.tasklets()) * chunk * 2;
+    const std::size_t e2 = 2 * e1;
+    const double c1 = model.simulateElementwiseCycles(op, limbs, e1);
+    const double c2 = model.simulateElementwiseCycles(op, limbs, e2);
+    analysis::LinearCycleFit fit;
+    fit.slope = (c2 - c1) / static_cast<double>(e2 - e1);
+    fit.base = c1 - fit.slope * static_cast<double>(e1);
+    return fit;
+}
+
+/** Fit cycles(n) = linear*n + quadratic*n^2 for one convolution
+ *  pair from two probe degrees. */
+inline analysis::QuadCycleFit
+probeConvolutionFit(const PimCostModel &model, std::size_t limbs)
+{
+    const std::size_t n1 = 4 * model.tasklets();
+    const std::size_t n2 = 2 * n1;
+    const double c1 = model.simulateConvolutionCycles(n1, limbs);
+    const double c2 = model.simulateConvolutionCycles(n2, limbs);
+    const double a1 = static_cast<double>(n1);
+    const double a2 = static_cast<double>(n2);
+    analysis::QuadCycleFit fit;
+    fit.quadratic = (c2 / a2 - c1 / a1) / (a2 - a1);
+    fit.linear = c1 / a1 - fit.quadratic * a1;
+    return fit;
+}
+
+/**
+ * Everything in a CostSpec except the probed fits: geometry, machine
+ * shape and host constants, as pure arithmetic. Enough for the
+ * capacity obligations, which must run before any probe.
+ */
+inline analysis::CostSpec
+costSpecShape(const pim::SystemConfig &cfg, std::size_t limbs,
+              std::size_t n, std::size_t relin_digits,
+              std::size_t num_dpus, std::string name)
+{
+    analysis::CostSpec spec;
+    spec.name = std::move(name);
+    spec.limbs = limbs;
+    spec.n = n;
+    spec.relinDigits = relin_digits;
+    spec.numDpus = num_dpus;
+    spec.clockMhz = cfg.dpu.clockMhz;
+    spec.hostToDpuGbps = cfg.hostToDpuGbps;
+    spec.dpuToHostGbps = cfg.dpuToHostGbps;
+    spec.launchOverheadUs = cfg.launchOverheadUs;
+    // Same clamp the resident cache applies to its arena.
+    spec.residentArenaBytes =
+        cfg.residentCapacityBytes == 0
+            ? cfg.dpu.mramBytes
+            : std::min<std::uint64_t>(cfg.residentCapacityBytes,
+                                      cfg.dpu.mramBytes);
+    const perf::CpuCalibration cal;
+    const std::size_t w = perf::widthIndex(limbs);
+    spec.hostAddNs = cal.addNs[w];
+    spec.hostMulNs = cal.mulNs[w];
+    spec.hostConvMacNs = cal.convMacNs[w];
+    spec.hostThreads = cal.threads;
+    spec.hostStreamGbps = cal.streamGbps;
+    return spec;
+}
+
+/**
+ * Fill a CostSpec from probed fits plus the live system shape.
+ * `num_dpus` is the DPU-set size the plan will actually run on (a
+ * PimHeSystem may allocate fewer DPUs than the config describes).
+ * Runs ~6 tiny simulations; call only for plans that already passed
+ * the arithmetic-only noise and capacity checks.
+ */
+inline analysis::CostSpec
+costSpecFor(const PimCostModel &model, std::size_t limbs,
+            std::size_t n, std::size_t relin_digits,
+            std::size_t num_dpus, std::string name)
+{
+    analysis::CostSpec spec =
+        costSpecShape(model.config(), limbs, n, relin_digits,
+                      num_dpus, std::move(name));
+    spec.addCycles =
+        probeElementwiseFit(model, perf::OpKind::VecAdd, limbs);
+    spec.mulCycles =
+        probeElementwiseFit(model, perf::OpKind::VecMul, limbs);
+    spec.convCycles = probeConvolutionFit(model, limbs);
+    return spec;
+}
+
+/** Relinearisation digit count of a parameter set:
+ *  l = ceil(bits(q) / w). */
+template <std::size_t N, typename ParamsT>
+std::size_t
+relinDigitsOf(const ParamsT &params)
+{
+    const std::size_t w = params.relinBaseBits;
+    return (params.q.bitLength() + w - 1) / w;
+}
+
+} // namespace pimhe
+
+#endif // PIMHE_PIMHE_PLAN_H

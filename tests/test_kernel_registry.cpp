@@ -118,11 +118,12 @@ TEST(KernelRegistry, EveryFamilyHasAFastPathOrAWaiver)
             << family.factory
             << " compiled kernel carries neither a fast body nor a "
                "waiver";
-        if (ck.fast)
+        if (ck.fast) {
             EXPECT_FALSE(ck.outputs.empty())
                 << family.factory
                 << " fast path declares no semantic output regions — "
                    "shadow mode would compare nothing";
+        }
     }
 }
 

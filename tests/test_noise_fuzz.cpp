@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Differential validation of the static noise certifier: hundreds of
+ * seeded random HE op DAGs, executed end-to-end with the host
+ * evaluator, asserting for EVERY node that
+ *
+ *   measured noiseBudgetBitsExact  >=  static budgetBits
+ *
+ * i.e. the worst-case transfer functions in analysis/noise.cpp are
+ * sound upper bounds on real BFV noise, and additionally that every
+ * statically certified node decrypts to exactly the tracked plaintext
+ * (mod-t negacyclic ring semantics re-implemented independently here).
+ *
+ * Generation is certification-gated: each candidate op is appended
+ * only if the grown plan still certifies, falling back to a fresh
+ * input otherwise. That keeps every generated DAG decryptable by
+ * construction while steering the sampler straight at the budget
+ * boundary — the regime where an unsound bound would show.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/he_dag.h"
+#include "analysis/noise.h"
+#include "test_util.h"
+
+namespace pimhe {
+namespace {
+
+using pimhe::testing::BfvHarness;
+using pimhe::testing::kSeed;
+namespace an = pimhe::analysis;
+
+// ----- independent mod-t plaintext ring (the reference model) -----
+
+using Coeffs = std::vector<std::uint64_t>;
+
+Coeffs
+plainAdd(const Coeffs &a, const Coeffs &b, std::uint64_t t)
+{
+    Coeffs out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = (a[i] + b[i]) % t;
+    return out;
+}
+
+Coeffs
+plainSub(const Coeffs &a, const Coeffs &b, std::uint64_t t)
+{
+    Coeffs out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = (a[i] + t - b[i]) % t;
+    return out;
+}
+
+Coeffs
+plainNeg(const Coeffs &a, std::uint64_t t)
+{
+    Coeffs out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = (t - a[i]) % t;
+    return out;
+}
+
+Coeffs
+plainScale(const Coeffs &a, std::uint64_t s, std::uint64_t t)
+{
+    Coeffs out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * (s % t) % t;
+    return out;
+}
+
+/** Negacyclic convolution mod t (X^n = -1). Products fit 64 bits:
+ *  t <= 2^17 across the grid. */
+Coeffs
+plainConv(const Coeffs &a, const Coeffs &b, std::uint64_t t)
+{
+    const std::size_t n = a.size();
+    Coeffs out(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::uint64_t p = a[i] * b[j] % t;
+            const std::size_t k = i + j;
+            if (k < n)
+                out[k] = (out[k] + p) % t;
+            else
+                out[k - n] = (out[k - n] + t - p) % t;
+        }
+    return out;
+}
+
+// ----- certification-gated random DAG generation -----
+
+struct GenOp
+{
+    an::HeOp op;
+    unsigned weight;
+};
+
+constexpr GenOp kMenu[] = {
+    {an::HeOp::Add, 6},       {an::HeOp::Sub, 2},
+    {an::HeOp::Negate, 1},    {an::HeOp::AddPlain, 2},
+    {an::HeOp::MulPlain, 2},  {an::HeOp::MulScalar, 2},
+    {an::HeOp::Mul, 3},       {an::HeOp::Square, 1},
+    {an::HeOp::FusedAddMul, 1}, {an::HeOp::Reduce, 1},
+};
+
+an::HeOp
+pickOp(Rng &rng)
+{
+    unsigned total = 0;
+    for (const auto &e : kMenu)
+        total += e.weight;
+    std::uint64_t r = rng.uniform(total);
+    for (const auto &e : kMenu) {
+        if (r < e.weight)
+            return e.op;
+        r -= e.weight;
+    }
+    return an::HeOp::Add;
+}
+
+/** Would the plan still certify with `cand` as a decryption point? */
+bool
+certifies(const an::HeDag &dag, an::NodeId cand,
+          const an::NoiseSpec &spec)
+{
+    an::HeDag trial = dag;
+    trial.output(cand);
+    return an::analyzeNoise(trial, spec).ok();
+}
+
+/**
+ * Grow a random certified DAG: `steps` gated op appends over a pool
+ * of live nodes, every rejected candidate replaced by a fresh input.
+ * Returns the DAG with every pool node marked as an output (so every
+ * live node carries the budget obligation the fuzz then measures).
+ */
+an::HeDag
+growDag(Rng &rng, const an::NoiseSpec &spec, std::size_t steps,
+        std::size_t plain_slots)
+{
+    an::HeDag dag;
+    std::vector<an::NodeId> pool = {dag.input(), dag.input()};
+    const auto pick = [&]() -> an::NodeId {
+        return pool[rng.uniform(pool.size())];
+    };
+
+    for (std::size_t s = 0; s < steps; ++s) {
+        an::HeDag trial = dag;
+        an::NodeId cand = 0;
+        switch (pickOp(rng)) {
+          case an::HeOp::Add:
+            cand = trial.add(pick(), pick());
+            break;
+          case an::HeOp::Sub:
+            cand = trial.sub(pick(), pick());
+            break;
+          case an::HeOp::Negate:
+            cand = trial.negate(pick());
+            break;
+          case an::HeOp::AddPlain:
+            cand = trial.addPlain(
+                pick(),
+                static_cast<std::uint32_t>(
+                    rng.uniform(plain_slots)));
+            break;
+          case an::HeOp::MulPlain:
+            cand = trial.mulPlain(
+                pick(),
+                static_cast<std::uint32_t>(
+                    rng.uniform(plain_slots)));
+            break;
+          case an::HeOp::MulScalar:
+            cand = trial.mulScalar(pick(), rng.uniform(1u << 16));
+            break;
+          case an::HeOp::Mul:
+            cand = trial.mul(pick(), pick());
+            break;
+          case an::HeOp::Square:
+            cand = trial.square(pick());
+            break;
+          case an::HeOp::FusedAddMul:
+            cand = trial.fusedAddMul(pick(), pick(), pick());
+            break;
+          default: { // Reduce
+            std::vector<an::NodeId> terms;
+            const std::size_t fan = 2 + rng.uniform(3);
+            for (std::size_t i = 0; i < fan; ++i)
+                terms.push_back(pick());
+            cand = trial.reduce(std::move(terms));
+            break;
+          }
+        }
+        if (certifies(trial, cand, spec)) {
+            dag = std::move(trial);
+            pool.push_back(cand);
+        } else {
+            // Budget boundary hit: keep sampling from a fresh input
+            // instead, so generation never stalls.
+            pool.push_back(dag.input());
+        }
+    }
+    for (const an::NodeId id : pool)
+        dag.output(id);
+    return dag;
+}
+
+// ----- end-to-end execution against the tracked plaintext model -----
+
+template <std::size_t N>
+void
+fuzzOneSet(std::size_t degree, std::size_t dags, std::uint64_t seed,
+           std::size_t *executed)
+{
+    BfvHarness<N> h(degree, seed);
+    const auto rlk = h.keygen.makeRelinKey();
+    const an::NoiseSpec spec = an::specOfBfv<N>(
+        h.params, "fuzz/n=" + std::to_string(degree));
+    const std::uint64_t t = h.params.t;
+    const std::size_t kPlainSlots = 2;
+
+    for (std::size_t it = 0; it < dags; ++it) {
+        Rng rng(seed + 1000 + it);
+        const an::HeDag dag = growDag(rng, spec, 8, kPlainSlots);
+        const auto rep = an::analyzeNoise(dag, spec);
+        ASSERT_TRUE(rep.ok())
+            << "gated generation produced an uncertified plan: "
+            << rep.summary();
+        ASSERT_EQ(rep.nodes.size(), dag.size());
+
+        // Random plain operands, shared across the plan's slots.
+        std::vector<Plaintext> plains;
+        std::vector<Coeffs> plain_ref;
+        for (std::size_t p = 0; p < kPlainSlots; ++p) {
+            Plaintext pt(h.params.n);
+            for (auto &c : pt.coeffs)
+                c = rng.uniform(t);
+            plain_ref.push_back(pt.coeffs);
+            plains.push_back(std::move(pt));
+        }
+
+        std::vector<Ciphertext<N>> val(dag.size());
+        std::vector<Coeffs> ref(dag.size());
+        for (an::NodeId id = 0; id < dag.size(); ++id) {
+            const an::HeNode &node = dag[id];
+            const auto a = [&]() { return node.args[0]; };
+            const auto b = [&]() { return node.args[1]; };
+            switch (node.op) {
+              case an::HeOp::Input: {
+                Plaintext pt(h.params.n);
+                for (auto &c : pt.coeffs)
+                    c = rng.uniform(t);
+                ref[id] = pt.coeffs;
+                val[id] = h.enc.encrypt(pt);
+                break;
+              }
+              case an::HeOp::Add:
+                val[id] = h.eval.add(val[a()], val[b()]);
+                ref[id] = plainAdd(ref[a()], ref[b()], t);
+                break;
+              case an::HeOp::Sub:
+                val[id] = h.eval.sub(val[a()], val[b()]);
+                ref[id] = plainSub(ref[a()], ref[b()], t);
+                break;
+              case an::HeOp::Negate:
+                val[id] = h.eval.negate(val[a()]);
+                ref[id] = plainNeg(ref[a()], t);
+                break;
+              case an::HeOp::AddPlain:
+                val[id] = h.eval.addPlain(val[a()],
+                                          plains[node.plainIdx]);
+                ref[id] = plainAdd(ref[a()],
+                                   plain_ref[node.plainIdx], t);
+                break;
+              case an::HeOp::MulPlain:
+                val[id] = h.eval.mulPlain(val[a()],
+                                          plains[node.plainIdx]);
+                ref[id] = plainConv(ref[a()],
+                                    plain_ref[node.plainIdx], t);
+                break;
+              case an::HeOp::MulScalar:
+                val[id] = h.eval.mulScalar(val[a()], node.scalar);
+                ref[id] = plainScale(ref[a()], node.scalar, t);
+                break;
+              case an::HeOp::Mul:
+                val[id] =
+                    h.eval.multiplyRelin(val[a()], val[b()], rlk);
+                ref[id] = plainConv(ref[a()], ref[b()], t);
+                break;
+              case an::HeOp::Square:
+                val[id] = h.eval.relinearize(h.eval.square(val[a()]),
+                                             rlk);
+                ref[id] = plainConv(ref[a()], ref[a()], t);
+                break;
+              case an::HeOp::FusedAddMul: {
+                const auto sum = h.eval.add(val[a()], val[b()]);
+                val[id] = h.eval.multiplyRelin(sum,
+                                               val[node.args[2]],
+                                               rlk);
+                ref[id] = plainConv(plainAdd(ref[a()], ref[b()], t),
+                                    ref[node.args[2]], t);
+                break;
+              }
+              case an::HeOp::Reduce: {
+                val[id] = val[node.args[0]];
+                ref[id] = ref[node.args[0]];
+                for (std::size_t i = 1; i < node.args.size(); ++i) {
+                    val[id] =
+                        h.eval.add(val[id], val[node.args[i]]);
+                    ref[id] = plainAdd(ref[id], ref[node.args[i]],
+                                       t);
+                }
+                break;
+              }
+              case an::HeOp::Output:
+                val[id] = val[a()];
+                ref[id] = ref[a()];
+                break;
+            }
+
+            // THE soundness claim: the measured exact budget never
+            // falls below the static floor, at any node.
+            Plaintext expected(0);
+            expected.coeffs = ref[id];
+            const std::int64_t measured =
+                h.dec.noiseBudgetBitsExact(val[id], expected);
+            EXPECT_GE(measured, rep.nodes[id].budgetBits)
+                << spec.name << " dag " << it << " "
+                << dag.describe(id) << ": measured " << measured
+                << " < static " << rep.nodes[id].budgetBits;
+
+            // And a certified node really decrypts to its tracked
+            // plaintext.
+            EXPECT_EQ(h.dec.decrypt(val[id]).coeffs, ref[id])
+                << spec.name << " dag " << it << " "
+                << dag.describe(id);
+        }
+        ++*executed;
+    }
+}
+
+// 4 parameter sets x 60 seeded DAGs = 240 end-to-end plans; reduced
+// ring degrees keep the schoolbook reference convolutions fast while
+// q, t, eta and the relin base stay the shipped per-level values.
+
+TEST(NoiseFuzz, Bits27Degree64)
+{
+    std::size_t done = 0;
+    fuzzOneSet<1>(64, 60, kSeed, &done);
+    EXPECT_EQ(done, 60u);
+}
+
+TEST(NoiseFuzz, Bits27Degree128)
+{
+    std::size_t done = 0;
+    fuzzOneSet<1>(128, 60, kSeed + 7, &done);
+    EXPECT_EQ(done, 60u);
+}
+
+TEST(NoiseFuzz, Bits54Degree64)
+{
+    std::size_t done = 0;
+    fuzzOneSet<2>(64, 60, kSeed + 13, &done);
+    EXPECT_EQ(done, 60u);
+}
+
+TEST(NoiseFuzz, Bits109Degree32)
+{
+    std::size_t done = 0;
+    fuzzOneSet<4>(32, 60, kSeed + 29, &done);
+    EXPECT_EQ(done, 60u);
+}
+
+} // namespace
+} // namespace pimhe

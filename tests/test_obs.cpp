@@ -31,7 +31,17 @@
 // instrumentation hot path performs zero heap allocations. Only the
 // default-aligned forms are replaced; the aligned overloads keep their
 // library pairing.
+//
+// GCC's -Wmismatched-new-delete cannot see that these replacements
+// pair malloc with free by construction: at -O2 it inlines the
+// replaced operator delete into standard-library call sites and
+// flags free() against the *default* operator new. Replacing the
+// global allocator this way is well-defined, so silence the false
+// positive for this TU.
 // ---------------------------------------------------------------------
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 
 static std::atomic<std::size_t> g_heapAllocs{0};
 

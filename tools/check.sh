@@ -17,9 +17,13 @@
 #   5. the pim_verify static sweep: the kernel x parameter grid must
 #      verify clean, and an injected violation must exit nonzero,
 #   6. the pim_prove symbolic sweep: every registered kernel family
-#      must prove race-free for all tasklet counts 1..24 and the plan
-#      scenarios must pass, while seeded races/lifetime violations
-#      must exit nonzero,
+#      must prove race-free for all tasklet counts 1..24, the plan
+#      scenarios must pass, and every declared checker suppression
+#      must be discharged, while seeded races/lifetime violations and
+#      unresolved suppressions must exit nonzero,
+#   6b. the pim_certify plan-certification sweep: the shipped kernel x
+#      parameter grid must certify (noise budget + capacity + cost)
+#      and every injected violation class must be rejected,
 #   7. clang-format --dry-run -Werror over src/pim/ (if installed),
 #   8. a clang-tidy build (if installed).
 #
@@ -79,6 +83,26 @@ run_pim_prove() {
     echo "injected violations correctly rejected"
 }
 
+# Static HE-plan certifier: the shipped plan grid must certify against
+# every parameter set (exit 0) and each injected violation class —
+# over-deep mul chain, budget-exact boundary, bad plain modulus,
+# too-wide reduce fan-in — must be rejected with a witness (exit
+# nonzero), keeping both directions of the certifier honest.
+run_pim_certify() {
+    local dir=$1
+    local bin="${dir}/tools-build/pim_certify"
+    echo "=== [${dir}] pim_certify sweep ==="
+    "${bin}"
+    for kind in over-deep boundary bad-t reduce-wide all; do
+        echo "=== [${dir}] pim_certify --inject ${kind} (must fail) ==="
+        if "${bin}" --inject "${kind}" > /dev/null; then
+            echo "pim_certify did not reject --inject ${kind}" >&2
+            return 1
+        fi
+    done
+    echo "injected certification violations correctly rejected"
+}
+
 run_config() {
     local name=$1
     shift
@@ -112,10 +136,12 @@ if [[ "${QUICK}" == "1" ]]; then
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L unit
     run_pim_verify "${dir}"
     run_pim_prove "${dir}"
+    run_pim_certify "${dir}"
 else
     run_config plain
     run_pim_verify build-check-plain
     run_pim_prove build-check-plain
+    run_pim_certify build-check-plain
     # Fast-path leg, part 1: rerun the differential suites in pure
     # fast mode on the plain build. Launch sites that construct their
     # DpuSets with ExecMode::Auto resolve to the env override, so the
@@ -138,6 +164,10 @@ else
     PIMHE_EXEC_MODE=shadow ctest --test-dir build-check-asan \
         --output-on-failure -j "${JOBS}" -L differential
     run_config ubsan -DPIMHE_SANITIZE=undefined
+    # The certifier's saturating 512-bit walk and the cost model's
+    # double arithmetic are exactly the code UBSan watches best; run
+    # both certifier directions on the sanitized build too.
+    run_pim_certify build-check-ubsan
 
     # ThreadSanitizer leg: run the parallel-engine stress tests and
     # the differential fuzz (both drive DpuSet launches across host
@@ -153,7 +183,7 @@ else
     }
     echo "=== [tsan] build ==="
     cmake --build "${dir}" -j "${JOBS}" \
-        --target test_parallel_exec test_differential
+        --target test_parallel_exec test_differential test_noise_fuzz
     echo "=== [tsan] ctest -L 'stress|differential' (16 threads) ==="
     PIMHE_HOST_THREADS=16 ctest --test-dir "${dir}" \
         --output-on-failure -j "${JOBS}" -L 'stress|differential'

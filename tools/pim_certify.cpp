@@ -1,0 +1,354 @@
+/**
+ * @file
+ * pim_certify: sweep the shipped kernel x parameter grid through the
+ * static HE-plan certifier (analysis/he_dag.h + noise.h + plan_cost.h)
+ * and exit nonzero on any rejected plan.
+ *
+ * For every security level the tool certifies one representative plan
+ * per offloadable kernel family — add chains, tree reductions, fused
+ * add->mul chains, plaintext products and relinearised mul chains —
+ * prints the exact-witness rejection for anything that does not fit
+ * the noise budget, reports per-backend modelled cost (PIM staged /
+ * PIM resident / host) for everything that does, and emits the
+ * max-certified multiplicative depth per parameter set (the grid's
+ * noise-budget crossover map).
+ *
+ * Usage:
+ *   pim_certify [--verbose] [--inject KIND] [--out FILE]
+ *
+ * --inject seeds deliberately broken plans (KIND: over-deep,
+ * boundary, bad-t, reduce-wide, or all); every class must be rejected
+ * with its exact witness, driving the exit code nonzero so CI can
+ * assert the rejection paths stay live.
+ * --out writes a schema-versioned JSON artifact ("pimhe-certify/v1").
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/he_dag.h"
+#include "analysis/noise.h"
+#include "analysis/plan_cost.h"
+#include "bfv/params.h"
+#include "common/cli.h"
+#include "obs/json.h"
+#include "pimhe/cost_model.h"
+#include "pimhe/plan.h"
+
+namespace {
+
+using namespace pimhe;
+
+struct Outcome
+{
+    int checked = 0;
+    int failed = 0;
+    std::ostringstream log;
+
+    void
+    emit(const std::string &line)
+    {
+        std::cout << line;
+        log << line;
+    }
+};
+
+// ----- plan shapes (the kernel grid) -----
+
+/** acc = x0 + x1 + ... + x_depth as a linear add chain. */
+analysis::HeDag
+addChain(std::size_t depth)
+{
+    analysis::HeDag dag;
+    analysis::NodeId acc = dag.input("x0");
+    for (std::size_t i = 1; i <= depth; ++i)
+        acc = dag.add(acc, dag.input("x" + std::to_string(i)));
+    dag.output(acc);
+    return dag;
+}
+
+/** One fan-in-f homomorphic tree reduction. */
+analysis::HeDag
+treeReduce(std::size_t fan_in)
+{
+    analysis::HeDag dag;
+    std::vector<analysis::NodeId> terms;
+    for (std::size_t i = 0; i < fan_in; ++i)
+        terms.push_back(dag.input("x" + std::to_string(i)));
+    dag.output(dag.reduce(std::move(terms)));
+    return dag;
+}
+
+/** acc = x0; acc = acc * y_i for i in 1..depth (relinearised). */
+analysis::HeDag
+mulChain(std::size_t depth)
+{
+    analysis::HeDag dag;
+    analysis::NodeId acc = dag.input("x0");
+    for (std::size_t i = 1; i <= depth; ++i)
+        acc = dag.mul(acc, dag.input("y" + std::to_string(i)));
+    dag.output(acc);
+    return dag;
+}
+
+/** The fused resident chain (a + b) * c. */
+analysis::HeDag
+fusedChain()
+{
+    analysis::HeDag dag;
+    const analysis::NodeId a = dag.input("a");
+    const analysis::NodeId b = dag.input("b");
+    const analysis::NodeId c = dag.input("c");
+    dag.output(dag.fusedAddMul(a, b, c));
+    return dag;
+}
+
+/** One ciphertext x plaintext product. */
+analysis::HeDag
+mulPlainPlan()
+{
+    analysis::HeDag dag;
+    dag.output(dag.mulPlain(dag.input("x"), 0));
+    return dag;
+}
+
+/**
+ * Deepest relinearised mul chain the parameter set statically
+ * certifies (0 = even one multiplication exhausts the budget).
+ */
+std::size_t
+maxCertifiedMulDepth(const analysis::NoiseSpec &spec,
+                     std::size_t cap = 16)
+{
+    std::size_t best = 0;
+    for (std::size_t d = 1; d <= cap; ++d) {
+        if (!analysis::analyzeNoise(mulChain(d), spec).ok())
+            break;
+        best = d;
+    }
+    return best;
+}
+
+// ----- sweep -----
+
+void
+takeNoise(const analysis::NoiseReport &noise, bool verbose,
+          Outcome &out)
+{
+    ++out.checked;
+    if (!noise.ok()) {
+        ++out.failed;
+        out.emit("FAIL " + noise.summary() + "\n");
+    } else if (verbose) {
+        out.emit("ok   " + noise.summary() + "\n  " +
+                 noise.trace.describe() + "\n");
+    } else {
+        out.emit("ok   " + noise.summary() + "\n");
+    }
+}
+
+obs::JsonValue
+costJson(const analysis::CostReport &cost)
+{
+    obs::JsonValue j = obs::JsonValue::makeObject();
+    j.set("pimStagedMs", obs::JsonValue(cost.pimStaged.totalMs()));
+    j.set("pimResidentMs",
+          obs::JsonValue(cost.pimResident.totalMs()));
+    j.set("hostMs", obs::JsonValue(cost.host.totalMs()));
+    j.set("residentBytesReused",
+          obs::JsonValue(cost.pimResident.residentBytesReused));
+    j.set("recommended", obs::JsonValue(cost.recommended));
+    return j;
+}
+
+template <std::size_t N>
+void
+sweepLevel(const PimCostModel &model, bool verbose, Outcome &out,
+           obs::JsonValue &sweeps, obs::JsonValue &depth_map)
+{
+    const BfvParams<N> params = standardParams<N>();
+    const std::string level =
+        levelName(N == 1   ? SecurityLevel::Bits27
+                  : N == 2 ? SecurityLevel::Bits54
+                           : SecurityLevel::Bits109);
+    out.emit("== " + level + "\n");
+    const analysis::NoiseSpec nspec =
+        analysis::specOfBfv<N>(params, level);
+    const std::size_t max_depth = maxCertifiedMulDepth(nspec);
+    depth_map.set(level,
+                  obs::JsonValue(
+                      static_cast<std::uint64_t>(max_depth)));
+    out.emit("     max certified mul depth: " +
+             std::to_string(max_depth) + "\n");
+
+    // The shipped grid: every plan listed here must certify. Plans a
+    // parameter set cannot support (e.g. any multiplication at the
+    // 27-bit level) are not shipped for it — that is the crossover
+    // the depth map documents.
+    std::vector<std::pair<std::string, analysis::HeDag>> grid;
+    grid.emplace_back("add-chain-8", addChain(8));
+    grid.emplace_back("tree-reduce-64", treeReduce(64));
+    if (analysis::analyzeNoise(mulPlainPlan(), nspec).ok())
+        grid.emplace_back("mul-plain", mulPlainPlan());
+    if (max_depth >= 1) {
+        grid.emplace_back("mul-chain-" + std::to_string(max_depth),
+                          mulChain(max_depth));
+        if (analysis::analyzeNoise(fusedChain(), nspec).ok())
+            grid.emplace_back("fused-add-mul", fusedChain());
+    }
+
+    const analysis::CostSpec cspec = costSpecFor(
+        model, N, params.n, relinDigitsOf<N>(params),
+        model.config().numDpus, level);
+    for (const auto &[plan, dag] : grid) {
+        analysis::NoiseSpec tagged = nspec;
+        tagged.name = level + " / " + plan;
+        const auto noise = analysis::analyzeNoise(dag, tagged);
+        takeNoise(noise, verbose, out);
+
+        analysis::CostSpec ctagged = cspec;
+        ctagged.name = tagged.name;
+        const auto cost = analysis::estimateCost(dag, ctagged);
+        ++out.checked;
+        if (!cost.ok()) {
+            ++out.failed;
+            out.emit("FAIL " + cost.summary() + "\n");
+        } else {
+            out.emit("     " + cost.summary() + "\n");
+        }
+
+        obs::JsonValue row = obs::JsonValue::makeObject();
+        row.set("level", obs::JsonValue(level));
+        row.set("plan", obs::JsonValue(plan));
+        row.set("certified",
+                obs::JsonValue(noise.ok() && cost.ok()));
+        row.set("mulDepth",
+                obs::JsonValue(
+                    static_cast<std::uint64_t>(dag.mulDepth())));
+        row.set("minOutputBudgetBits",
+                obs::JsonValue(static_cast<double>(
+                    noise.minOutputBudgetBits())));
+        row.set("cost", costJson(cost));
+        sweeps.push(std::move(row));
+    }
+}
+
+// ----- injections -----
+
+/** Every injected plan must be REJECTED with an exact witness; a
+ *  rejection is reported as FAIL (driving the exit nonzero, which CI
+ *  asserts), and an injection that certifies leaves the exit at 0 so
+ *  a dead rejection path is caught too. */
+void
+inject(const std::string &kind, bool verbose, Outcome &out)
+{
+    const bool all = kind == "all";
+    out.emit("== injected violations (" + kind + ")\n");
+    const BfvParams<2> p2 = standardParams<2>();
+    const analysis::NoiseSpec s2 =
+        analysis::specOfBfv<2>(p2, "injected/Bits54");
+
+    if (all || kind == "over-deep") {
+        // A mul chain far beyond the certified depth: must be
+        // rejected at the exact node where the budget dies.
+        analysis::NoiseSpec s = s2;
+        s.name = "injected/over-deep";
+        takeNoise(analysis::analyzeNoise(
+                      mulChain(maxCertifiedMulDepth(s2) + 3), s),
+                  verbose, out);
+    }
+    if (all || kind == "boundary") {
+        // Budget-exact boundary: depth d certifies, depth d+1 is
+        // rejected. Both directions checked so the boundary is tight.
+        const std::size_t d = maxCertifiedMulDepth(s2);
+        analysis::NoiseSpec pass = s2;
+        pass.name = "injected/boundary-depth-" + std::to_string(d);
+        const auto ok_side =
+            analysis::analyzeNoise(mulChain(d), pass);
+        ++out.checked;
+        out.emit(std::string(ok_side.ok() ? "ok   " : "BAD  ") +
+                 ok_side.summary() + "\n");
+        analysis::NoiseSpec fail = s2;
+        fail.name =
+            "injected/boundary-depth-" + std::to_string(d + 1);
+        takeNoise(analysis::analyzeNoise(mulChain(d + 1), fail),
+                  verbose, out);
+    }
+    if (all || kind == "bad-t") {
+        // Plaintext modulus at q: Delta = floor(q/t) vanishes; the
+        // params obligation must reject before any transfer function.
+        analysis::NoiseSpec s = s2;
+        s.name = "injected/bad-plain-modulus";
+        s.t = ~0ULL; // 2^64 - 1 >= q for the 54-bit set
+        takeNoise(analysis::analyzeNoise(addChain(1), s), verbose,
+                  out);
+    }
+    if (all || kind == "reduce-wide") {
+        // Reduce fan-in too wide for the resident arena: a 512-way
+        // reduction on one DPU with a 1 MB arena must produce an
+        // exact Staging violation — from arithmetic alone.
+        analysis::CostSpec c;
+        c.name = "injected/reduce-wide";
+        c.limbs = 2;
+        c.n = p2.n;
+        c.numDpus = 1;
+        c.residentArenaBytes = 1ULL << 20;
+        const auto cost =
+            analysis::estimateCost(treeReduce(512), c);
+        ++out.checked;
+        if (!cost.ok()) {
+            ++out.failed;
+            out.emit("FAIL " + cost.summary() + "\n");
+        } else {
+            out.emit("BAD  " + cost.summary() + "\n");
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"verbose", "inject", "out"});
+    const bool verbose = args.getBool("verbose", false);
+    const std::string injected = args.getString("inject", "");
+    const std::string out_path = args.getString("out", "");
+
+    Outcome out;
+    obs::JsonValue sweeps = obs::JsonValue::makeArray();
+    obs::JsonValue depth_map = obs::JsonValue::makeObject();
+
+    const PimCostModel model; // the paper's system, probe-backed fits
+    sweepLevel<1>(model, verbose, out, sweeps, depth_map);
+    sweepLevel<2>(model, verbose, out, sweeps, depth_map);
+    sweepLevel<4>(model, verbose, out, sweeps, depth_map);
+    if (!injected.empty())
+        inject(injected, verbose, out);
+
+    std::ostringstream tail;
+    tail << out.checked << " certifications checked, " << out.failed
+         << " rejection(s)\n";
+    out.emit(tail.str());
+
+    if (!out_path.empty()) {
+        obs::JsonValue doc = obs::JsonValue::makeObject();
+        doc.set("schema", obs::JsonValue("pimhe-certify/v1"));
+        doc.set("maxCertifiedMulDepth", std::move(depth_map));
+        doc.set("sweeps", std::move(sweeps));
+        doc.set("checked", obs::JsonValue(out.checked));
+        doc.set("failed", obs::JsonValue(out.failed));
+        doc.set("log", obs::JsonValue(out.log.str()));
+        std::ofstream f(out_path);
+        f << doc.dump(2) << "\n";
+        if (!f) {
+            std::cerr << "cannot write report to " << out_path
+                      << "\n";
+            return 2;
+        }
+    }
+    return out.failed == 0 ? 0 : 1;
+}

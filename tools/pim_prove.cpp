@@ -9,15 +9,24 @@
  * tool checks per-launch budgets, this one proves inter-tasklet
  * disjointness of the parametric access models (analysis/symbolic.h)
  * and the arena-lifetime rules of orchestrated launch sequences
- * (analysis/plan_verify.h). No simulated cycle runs.
+ * (analysis/plan_verify.h).
+ *
+ * It also closes the checkerAllowRange audit loop: every registered
+ * kernel family is executed once under the dynamic conflict checker
+ * (tiny shapes, operands legally zero), and every suppression the run
+ * declares is audited against the family's symbolic proof. A
+ * suppression the prover cannot discharge — Unresolved, or worse,
+ * MasksProvenRace — fails the sweep, so an unjustified allowRange()
+ * can no longer ride through CI as a mere report line.
  *
  * Usage:
  *   pim_prove [--verbose] [--inject KIND] [--out FILE]
  *
  * --inject seeds deliberately broken models/plans (KIND: race-dma,
- * race-wram, race-epoch, use-after-drop, write-pinned, dirty-alias, or
- * all) so CI can assert that every violation class is reported with
- * its exact witness and that the nonzero exit path stays live.
+ * race-wram, race-epoch, use-after-drop, write-pinned, dirty-alias,
+ * unresolved-suppression, or all) so CI can assert that every
+ * violation class is reported with its exact witness and that the
+ * nonzero exit path stays live.
  * --out additionally writes the full report to FILE (CI artifact).
  */
 
@@ -31,6 +40,7 @@
 #include "analysis/symbolic.h"
 #include "common/cli.h"
 #include "pim/config.h"
+#include "pim/dpu.h"
 #include "pimhe/kernel_registry.h"
 
 namespace {
@@ -193,6 +203,62 @@ sweepPlans(bool verbose, Outcome &out)
     }
 }
 
+/**
+ * Audit one dynamic run's checkerAllowRange suppressions against the
+ * kernel's symbolic proof. Discharged suppressions pass (the prover
+ * shows the kernel is race-free without them); Unresolved and
+ * MasksProvenRace fail the sweep.
+ */
+void
+auditOne(const std::string &name, const pim::ConflictReport &conflicts,
+         const analysis::SymbolicReport &proof, Outcome &out)
+{
+    ++out.checked;
+    if (conflicts.suppressions.empty()) {
+        out.emit("ok   '" + name +
+                 "' declares no checker suppressions\n");
+        return;
+    }
+    bool bad = false;
+    for (const auto &f :
+         analysis::auditSuppressions(conflicts, proof)) {
+        const bool fail =
+            f.verdict != analysis::SuppressionVerdict::Discharged;
+        bad = bad || fail;
+        out.emit(std::string(fail ? "FAIL " : "ok   ") + "'" + name +
+                 "' " + f.describe() + "\n");
+    }
+    if (bad)
+        ++out.failed;
+}
+
+/**
+ * Run every registered kernel family once under the dynamic conflict
+ * checker (unwritten MRAM reads are legally zero, so no staging is
+ * needed) and audit whatever suppressions the run declared.
+ */
+void
+sweepSuppressions(const pim::DpuConfig &base, Outcome &out)
+{
+    out.emit("== checkerAllowRange suppression audit\n");
+    pim::DpuConfig cfg = base;
+    cfg.checker.enabled = true;
+    const analysis::SymbolicProver prover(cfg.maxTasklets);
+    for (const auto &family : pimhe_kernels::kernelRegistry()) {
+        const auto plans = family.plans(cfg);
+        if (plans.empty())
+            continue; // sweepRegistry already failed this family
+        const pim::CompiledKernel ck = family.compiled();
+        const unsigned tasklets = std::min(
+            12u, std::min(cfg.maxTasklets,
+                          plans.front().footprint.maxTasklets));
+        pim::Dpu dpu(cfg);
+        const auto stats = dpu.run(tasklets, ck.interpret);
+        auditOne(family.factory, stats.conflicts,
+                 prover.prove(plans.front().footprint), out);
+    }
+}
+
 /** Seed broken access models / launch plans; every one must produce a
  *  violation with its exact witness, driving the exit code nonzero. */
 void
@@ -263,6 +329,33 @@ inject(const std::string &kind, const pim::DpuConfig &cfg, bool verbose,
                      {{"result", 0, 4096, analysis::Access::Write}})),
                  verbose, out);
     }
+    if (all || kind == "unresolved-suppression") {
+        // A suppression with real runtime hits whose overlap the
+        // symbolic model cannot express: the model (wrongly) claims
+        // disjoint per-tasklet slots while every tasklet actually
+        // scribbles the same word under an allowRange. Clean proof +
+        // suppressed hits = Unresolved, which must fail the audit.
+        pim::DpuConfig ccfg = cfg;
+        ccfg.checker.enabled = true;
+        pim::Dpu dpu(ccfg);
+        const auto stats = dpu.run(4, [](pim::TaskletCtx &ctx) {
+            if (ctx.id() == 0) // the allow-list is checker-global
+                ctx.checkerAllowRange(pim::MemSpace::Wram, 0, 64,
+                                      "injected: claims external "
+                                      "synchronisation");
+            ctx.wramStore32(0, ctx.id());
+        });
+        analysis::KernelFootprint fp;
+        fp.kernel = "injected-unresolved-suppression";
+        fp.maxTasklets = ccfg.maxTasklets;
+        fp.taskletAccess = [](unsigned t, unsigned) {
+            return std::vector<analysis::SymAccess>{
+                {analysis::Space::Wram, 0, t * 8ull, t * 8ull + 4,
+                 true, "claimed slot"}};
+        };
+        auditOne("injected-unresolved-suppression", stats.conflicts,
+                 prover.prove(fp), out);
+    }
     if (all || kind == "dirty-alias") {
         analysis::PlanVerifier pv;
         pv.noteAlloc(1, 0, 4096, "dirty result");
@@ -290,6 +383,7 @@ main(int argc, char **argv)
 
     sweepRegistry(cfg, verbose, out);
     sweepPlans(verbose, out);
+    sweepSuppressions(cfg, out);
     if (!injected.empty())
         inject(injected, cfg, verbose, out);
 
