@@ -27,6 +27,7 @@
 #include "baselines/engines.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/artifact.h"
 #include "obs/json.h"
 #include "obs/report.h"
 #include "perf/platform.h"
@@ -131,9 +132,22 @@ class Report
     }
 
     /**
+     * Override the free-form config descriptor stamped into the
+     * report's meta object (default: "<exp> reps=<n> warmup=<m>").
+     */
+    void
+    config(std::string description)
+    {
+        config_ = std::move(description);
+    }
+
+    /**
      * Write BENCH_<name>.json into $PIMHE_BENCH_OUT (default: working
      * directory). Returns a process exit code so benches can end with
-     * `return report.write();`.
+     * `return report.write();`. The written bytes are re-validated
+     * against the pimhe-bench/v1 schema and stamped with git SHA +
+     * UTC timestamp provenance so bench_compare can attribute a
+     * trajectory point to a source state.
      */
     int
     write() const
@@ -146,6 +160,11 @@ class Report
         doc.set("repetitions",
                 obs::JsonValue(std::uint64_t{repetitions_}));
         doc.set("warmup", obs::JsonValue(std::uint64_t{warmup_}));
+        std::string config = config_;
+        if (config.empty())
+            config = exp_ + " reps=" + std::to_string(repetitions_) +
+                     " warmup=" + std::to_string(warmup_);
+        doc.set("meta", obs::metaJson(obs::currentRunMeta(config)));
 
         obs::JsonValue tables = obs::JsonValue::makeArray();
         for (const Table &t : tables_) {
@@ -216,13 +235,12 @@ class Report
         }
         doc.set("band_checks", std::move(checks));
 
-        const char *dir = std::getenv("PIMHE_BENCH_OUT");
-        std::string path = dir != nullptr && *dir != '\0'
-                               ? std::string(dir) + "/"
-                               : std::string();
-        path += "BENCH_" + name_ + ".json";
+        const std::string path =
+            obs::joinPath(obs::outputDir("PIMHE_BENCH_OUT"),
+                          "BENCH_" + name_ + ".json");
         std::string err;
-        if (!obs::writeFile(path, doc.dump(2) + "\n", &err)) {
+        if (!obs::emitArtifact(path, doc.dump(2) + "\n",
+                               &obs::validateBenchJson, &err)) {
             std::cerr << "bench report: " << err << "\n";
             return 1;
         }
@@ -242,6 +260,7 @@ class Report
     std::string name_;
     std::string exp_;
     std::string title_;
+    std::string config_;
     unsigned repetitions_;
     unsigned warmup_;
     std::vector<Table> tables_;

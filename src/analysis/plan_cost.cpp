@@ -16,11 +16,22 @@ namespace analysis {
 
 namespace {
 
-/** Where a node's value lives in the pim-resident walk. */
+/**
+ * Where a node's value lives in the pim-resident walk. The cache
+ * inserts host copies and uploads lazily, so a value can be valid on
+ * both sides at once: Both means MRAM reuse is free AND host
+ * consumption is free (the host copy never went stale). Only
+ * DeviceOnly values — kernel outputs allocated device-side — pay a
+ * download when a host op consumes them. Collapsing Both into a
+ * single "Device" state (as the first model version did) overcharged
+ * every host consumption of an uploaded-but-never-written value,
+ * which the calibration layer flagged against measured transfers.
+ */
 enum class Loc : std::uint8_t
 {
     Host,
-    Device,
+    Both,
+    DeviceOnly,
 };
 
 /** Geometry and rate helpers shared by the three backend walks. */
@@ -82,17 +93,25 @@ struct CostCtx
         return (elems + spec.numDpus - 1) / spec.numDpus;
     }
 
-    /** One row-sharded negacyclic convolution on the PIM system. */
+    /**
+     * One row-sharded negacyclic convolution on the PIM system. Each
+     * DPU pays the full per-launch base (startup never shards) plus
+     * its share of the per-row work: row cycles are linear +
+     * quadratic*n (one output row is n MACs), and a DPU owns
+     * rows_per_dpu rows.
+     */
     double
     convMs() const
     {
         const double nn = static_cast<double>(spec.n);
-        const double pair_cycles = spec.convCycles.linear * nn +
-                                   spec.convCycles.quadratic * nn * nn;
+        const double row_cycles = spec.convCycles.linear +
+                                  spec.convCycles.quadratic * nn;
         const std::uint64_t rows_per_dpu =
             (spec.n + spec.numDpus - 1) / spec.numDpus;
-        return pair_cycles * static_cast<double>(rows_per_dpu) /
-               (nn * spec.clockMhz * 1e3);
+        const double shard_cycles =
+            spec.convCycles.base +
+            row_cycles * static_cast<double>(rows_per_dpu);
+        return shard_cycles / (spec.clockMhz * 1e3);
     }
 
     double
@@ -157,6 +176,18 @@ convCount(const HeNode &node, const CostSpec &spec)
 
 } // namespace
 
+std::uint64_t
+ciphertextBytes(const CostSpec &spec)
+{
+    return CostCtx(spec).ctBytes;
+}
+
+double
+modeledDownloadMs(const CostSpec &spec, std::uint64_t bytes)
+{
+    return CostCtx(spec).xferMs(bytes, spec.dpuToHostGbps);
+}
+
 std::string
 BackendCost::describe() const
 {
@@ -206,23 +237,23 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
     // on the host between launches.
     std::vector<Loc> loc(dag.size(), Loc::Host);
 
-    // Ensure an operand is device-resident: a host value pays one
-    // upload, a device value counts as a re-upload avoided (the
-    // TransferTotals residency metric).
+    // Ensure an operand is device-resident: a host-only value pays
+    // one upload, anything already in MRAM counts as a re-upload
+    // avoided (the TransferTotals residency metric).
     const auto ensureDevice = [&](NodeId id) {
-        if (loc[id] == Loc::Device) {
+        if (loc[id] != Loc::Host) {
             re.residentBytesReused += c.ctBytes;
         } else {
             chargeUpload(re, c.ctBytes, c);
-            loc[id] = Loc::Device;
+            loc[id] = Loc::Both;
         }
     };
-    // Materialise an operand on the host (device results pay one
-    // download; host values are free).
+    // Materialise an operand on the host: only device-only kernel
+    // outputs pay a download; values with a live host copy are free.
     const auto ensureHost = [&](NodeId id) {
-        if (loc[id] == Loc::Device) {
+        if (loc[id] == Loc::DeviceOnly) {
             chargeDownload(re, c.ctBytes, c);
-            loc[id] = Loc::Host;
+            loc[id] = Loc::Both;
         }
     };
     // Resident arena obligation: `regions` pinned slices of
@@ -258,17 +289,32 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
         ho.kernelMs += static_cast<double>(count) * c.hostConvMs();
     };
 
+    // Per-backend delta of one node: full-struct snapshots before and
+    // after the node's charges, so attribution gets bytes and launch
+    // counts alongside the ms deltas.
+    const auto deltaOf = [](const BackendCost &after,
+                            const BackendCost &before) {
+        OpBackendDelta d;
+        d.ms = after.totalMs() - before.totalMs();
+        d.kernelMs = after.kernelMs - before.kernelMs;
+        d.busBytes = (after.uploadedBytes - before.uploadedBytes) +
+                     (after.downloadedBytes - before.downloadedBytes);
+        d.launches = after.launches - before.launches;
+        return d;
+    };
+
     for (NodeId id = 0; id < dag.size(); ++id) {
         const HeNode &node = dag[id];
-        const double st0 = st.totalMs();
-        const double re0 = re.totalMs();
-        const double ho0 = ho.totalMs();
+        const BackendCost st0 = st;
+        const BackendCost re0 = re;
+        const BackendCost ho0 = ho;
 
         switch (node.op) {
           case HeOp::Input:
-            // Resident: registered with the cache, uploaded once.
+            // Resident: registered with the cache, uploaded once;
+            // the caller's host copy stays valid.
             chargeUpload(re, c.ctBytes, c);
-            loc[id] = Loc::Device;
+            loc[id] = Loc::Both;
             break;
 
           case HeOp::Add: {
@@ -284,7 +330,7 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
             ensureDevice(node.args[1]);
             chargeLaunch(re, c.launchMs(spec.addCycles,
                                         c.perDpu(c.ctElems)), c);
-            loc[id] = Loc::Device;
+            loc[id] = Loc::DeviceOnly; // kernel output, no host copy
             ho.kernelMs += c.hostElemMs(c.ctElems, spec.hostAddNs);
             break;
           }
@@ -369,7 +415,7 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
                                         pairs * c.sliceElems), c);
                 m = hh;
             }
-            loc[id] = Loc::Device;
+            loc[id] = Loc::DeviceOnly; // folded in MRAM, host stale
             // Staged: tree of staged adds, re-uploading every round.
             m = f;
             while (m > 1) {
@@ -395,9 +441,12 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
         OpCostRow row;
         row.node = id;
         row.op = node.op;
-        row.pimStagedMs = st.totalMs() - st0;
-        row.pimResidentMs = re.totalMs() - re0;
-        row.hostMs = ho.totalMs() - ho0;
+        row.pimStaged = deltaOf(st, st0);
+        row.pimResident = deltaOf(re, re0);
+        row.host = deltaOf(ho, ho0);
+        row.pimStagedMs = row.pimStaged.ms;
+        row.pimResidentMs = row.pimResident.ms;
+        row.hostMs = row.host.ms;
         report.rows.push_back(row);
     }
 

@@ -58,9 +58,17 @@ struct LinearCycleFit
     double slope = 0;
 };
 
-/** cycles(n) = linear * n + quadratic * n^2 per convolution pair. */
+/**
+ * cycles(n) = base + linear * n + quadratic * n^2 per convolution
+ * pair. The base term is the per-launch startup cost (kernel entry,
+ * WRAM staging) that does NOT shrink when a convolution is row-
+ * sharded across DPUs — without it, sharded predictions underpredict
+ * by the unamortised startup share at small degrees, a drift the
+ * calibration observatory (obs/calib.h) flags immediately.
+ */
 struct QuadCycleFit
 {
+    double base = 0;
     double linear = 0;
     double quadratic = 0;
 };
@@ -116,6 +124,22 @@ struct BackendCost
     std::string describe() const;
 };
 
+/**
+ * Per-node per-backend prediction delta: what one node added to a
+ * backend's whole-plan cost. These are the prediction half of the
+ * calibration attribution records (obs/calib.h) — each field has an
+ * exact measured counterpart in the simulator's accounting
+ * (totalModeledMs, LaunchStats::kernelMs, TransferTotals::busBytes,
+ * launch count).
+ */
+struct OpBackendDelta
+{
+    double ms = 0;       //!< modelled total (kernel+transfer+overhead)
+    double kernelMs = 0; //!< modelled kernel/compute time
+    std::uint64_t busBytes = 0; //!< uploaded + downloaded bytes
+    std::size_t launches = 0;
+};
+
 /** Per-node cost row (audit detail for reports and the CLI). */
 struct OpCostRow
 {
@@ -124,6 +148,9 @@ struct OpCostRow
     double pimStagedMs = 0;
     double pimResidentMs = 0;
     double hostMs = 0;
+    OpBackendDelta pimStaged;
+    OpBackendDelta pimResident;
+    OpBackendDelta host; //!< busBytes/launches always 0 on host
 };
 
 /** Outcome of costing one DAG against one CostSpec. */
@@ -148,6 +175,19 @@ struct CostReport
  * the caller, once per width).
  */
 CostReport estimateCost(const HeDag &dag, const CostSpec &spec);
+
+/** Bytes of one ciphertext under this spec (2 components * n). */
+std::uint64_t ciphertextBytes(const CostSpec &spec);
+
+/**
+ * Modelled bus time for one download of `bytes` — the same rate
+ * arithmetic estimateCost charges. Exposed so callers that execute
+ * with different materialisation timing than the plan walks assume
+ * (e.g. runPlan downloads a reduction eagerly where the resident
+ * backend defers it to the consumer) can adjust a prediction with
+ * the model's own numbers instead of a duplicate formula.
+ */
+double modeledDownloadMs(const CostSpec &spec, std::uint64_t bytes);
 
 } // namespace analysis
 } // namespace pimhe

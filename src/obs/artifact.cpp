@@ -1,0 +1,154 @@
+#include "obs/artifact.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "obs/report.h"
+
+namespace pimhe {
+namespace obs {
+
+namespace {
+
+/** First line of a file, stripped of trailing whitespace. */
+bool
+firstLine(const std::string &path, std::string *out)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::string line;
+    if (!std::getline(is, line))
+        return false;
+    while (!line.empty() &&
+           (line.back() == '\n' || line.back() == '\r' ||
+            line.back() == ' '))
+        line.pop_back();
+    *out = line;
+    return true;
+}
+
+/** Resolve a "refs/heads/..." name inside `gitDir` to a SHA. */
+std::string
+resolveRef(const std::string &gitDir, const std::string &ref)
+{
+    std::string sha;
+    if (firstLine(gitDir + "/" + ref, &sha) && !sha.empty())
+        return sha;
+    // Packed ref: lines are "<sha> <refname>".
+    std::ifstream is(gitDir + "/packed-refs");
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '^')
+            continue;
+        const std::size_t sp = line.find(' ');
+        if (sp == std::string::npos)
+            continue;
+        if (line.substr(sp + 1) == ref)
+            return line.substr(0, sp);
+    }
+    return "";
+}
+
+/** Git SHA by reading .git/HEAD, walking up from the working dir. */
+std::string
+probeGitSha()
+{
+    std::string prefix;
+    for (int depth = 0; depth < 12; ++depth) {
+        const std::string gitDir = prefix + ".git";
+        std::string head;
+        if (firstLine(gitDir + "/HEAD", &head)) {
+            const std::string refPrefix = "ref: ";
+            if (head.compare(0, refPrefix.size(), refPrefix) == 0) {
+                const std::string sha = resolveRef(
+                    gitDir, head.substr(refPrefix.size()));
+                return sha.empty() ? "unknown" : sha;
+            }
+            return head.empty() ? "unknown" : head; // detached HEAD
+        }
+        prefix += "../";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+RunMeta
+currentRunMeta(const std::string &config)
+{
+    RunMeta meta;
+    const char *env = std::getenv("PIMHE_GIT_SHA");
+    meta.gitSha = env != nullptr && *env != '\0' ? env : probeGitSha();
+
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm utc{};
+#if defined(_WIN32)
+    gmtime_s(&utc, &now);
+#else
+    gmtime_r(&now, &utc);
+#endif
+    // 80 bytes: the int fields are theoretically wide enough for a
+    // 73-byte worst case, and -Wformat-truncation counts exactly that.
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                  utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
+                  utc.tm_hour, utc.tm_min, utc.tm_sec);
+    meta.timestampUtc = buf;
+    meta.config = config;
+    return meta;
+}
+
+JsonValue
+metaJson(const RunMeta &meta)
+{
+    JsonValue m = JsonValue::makeObject();
+    m.set("git_sha", JsonValue(meta.gitSha));
+    m.set("timestamp_utc", JsonValue(meta.timestampUtc));
+    m.set("config", JsonValue(meta.config));
+    return m;
+}
+
+std::string
+joinPath(const std::string &dir, const std::string &file)
+{
+    if (dir.empty() || dir == ".")
+        return file;
+    if (dir.back() == '/')
+        return dir + file;
+    return dir + "/" + file;
+}
+
+std::string
+outputDir(const char *envVar)
+{
+    const char *dir = std::getenv(envVar);
+    return dir != nullptr && *dir != '\0' ? std::string(dir)
+                                          : std::string();
+}
+
+bool
+emitArtifact(const std::string &path, const std::string &content,
+             ArtifactValidator validate, std::string *err)
+{
+    if (!writeFile(path, content, err))
+        return false;
+    if (validate != nullptr) {
+        std::string verr;
+        if (!validate(content, &verr)) {
+            if (err != nullptr)
+                *err = "artifact '" + path +
+                       "' failed schema validation: " + verr;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace pimhe

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared artifact emission for every schema-versioned JSON the tools
+ * and benches write.
+ *
+ * Three concerns live here so they stop being re-implemented per
+ * binary (pim_profile, pim_certify, bench_util all carried private
+ * copies):
+ *
+ *  - path joining + output-directory resolution from an env var,
+ *  - a write-then-revalidate hook: emitArtifact() runs the schema
+ *    validator on the exact bytes written, so a malformed artifact
+ *    fails the producing process instead of a downstream consumer,
+ *  - provenance stamping: RunMeta pairs an artifact with the git
+ *    commit, a UTC timestamp and a free-form config string, which is
+ *    what makes bench trajectories (baseline vs fresh) attributable
+ *    to a specific source state.
+ *
+ * The git SHA is resolved by reading .git/HEAD directly (walking up
+ * from the working directory), so no subprocess is spawned and the
+ * stamp works from any build subdirectory. PIMHE_GIT_SHA overrides
+ * the probe for hermetic environments.
+ */
+
+#ifndef PIMHE_OBS_ARTIFACT_H
+#define PIMHE_OBS_ARTIFACT_H
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace pimhe {
+namespace obs {
+
+/** Provenance stamp attached to schema-versioned artifacts. */
+struct RunMeta
+{
+    std::string gitSha;       //!< commit hex or "unknown"
+    std::string timestampUtc; //!< ISO-8601 UTC, e.g. 2026-08-08T12:00:00Z
+    std::string config;       //!< free-form producer config descriptor
+};
+
+/**
+ * Probe the current run's provenance. The SHA comes from
+ * PIMHE_GIT_SHA when set, else from .git/HEAD (following one level of
+ * "ref:" indirection through refs/ or packed-refs), else "unknown".
+ */
+RunMeta currentRunMeta(const std::string &config);
+
+/** Serialise a RunMeta as the conventional "meta" object. */
+JsonValue metaJson(const RunMeta &meta);
+
+/** Join an output directory and a file name. */
+std::string joinPath(const std::string &dir, const std::string &file);
+
+/**
+ * Output directory from `envVar` (default: working directory).
+ * Returns "" for "write into the working directory".
+ */
+std::string outputDir(const char *envVar);
+
+/** Schema validator signature shared by obs/report.h. */
+using ArtifactValidator = bool (*)(const std::string &,
+                                   std::string *);
+
+/**
+ * Write `content` to `path`, then re-validate the written string with
+ * `validate` (skipped when null). Returns false with a diagnostic in
+ * *err on write failure or validation failure — producers should
+ * treat either as fatal so CI never uploads a malformed artifact.
+ */
+bool emitArtifact(const std::string &path, const std::string &content,
+                  ArtifactValidator validate, std::string *err);
+
+} // namespace obs
+} // namespace pimhe
+
+#endif // PIMHE_OBS_ARTIFACT_H

@@ -1,0 +1,158 @@
+#include "obs/benchdiff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace pimhe {
+namespace obs {
+
+namespace {
+
+bool
+failWith(std::string *err, const std::string &msg)
+{
+    if (err != nullptr)
+        *err = msg;
+    return false;
+}
+
+bool
+isInformational(const std::string &name,
+                const BenchDiffOptions &opts)
+{
+    for (const std::string &sub : opts.informationalSubstrings)
+        if (name.find(sub) != std::string::npos)
+            return true;
+    return false;
+}
+
+double
+numberField(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    return v != nullptr && v->isNumber() ? v->asNumber() : 0;
+}
+
+} // namespace
+
+bool
+compareBenchReports(const std::string &baselineText,
+                    const std::string &freshText,
+                    const BenchDiffOptions &opts,
+                    BenchDiffResult *result, std::string *err)
+{
+    std::string verr;
+    if (!validateBenchJson(baselineText, &verr))
+        return failWith(err, "baseline: " + verr);
+    if (!validateBenchJson(freshText, &verr))
+        return failWith(err, "fresh: " + verr);
+
+    const JsonParseResult base = parseJson(baselineText);
+    const JsonParseResult fresh = parseJson(freshText);
+
+    const std::string baseBench =
+        base.value.find("bench")->asString();
+    const std::string freshBench =
+        fresh.value.find("bench")->asString();
+    if (baseBench != freshBench)
+        return failWith(err, "bench name mismatch: baseline '" +
+                                 baseBench + "' vs fresh '" +
+                                 freshBench + "'");
+
+    result->bench = baseBench;
+    result->series.clear();
+    result->notes.clear();
+    result->pass = true;
+
+    const JsonValue *baseSeries = base.value.find("series");
+    const JsonValue *freshSeries = fresh.value.find("series");
+
+    for (const auto &kv : baseSeries->members()) {
+        const std::string &name = kv.first;
+        SeriesDiff d;
+        d.name = name;
+        d.baselineP50 = numberField(kv.second, "p50");
+        d.informational = isInformational(name, opts);
+
+        const JsonValue *f = freshSeries->find(name);
+        if (f == nullptr || !f->isObject()) {
+            d.pass = false;
+            d.band = opts.band;
+            result->notes.push_back("series '" + name +
+                                    "' missing from fresh report");
+            if (!d.informational)
+                result->pass = false;
+            result->series.push_back(std::move(d));
+            continue;
+        }
+        d.freshP50 = numberField(*f, "p50") * opts.injectFactor;
+
+        // Noise-aware band: at least the configured band, widened to
+        // the baseline's own p95/p50 spread.
+        const double baseP95 = numberField(kv.second, "p95");
+        double spread = 0;
+        if (d.baselineP50 > 0 && baseP95 > d.baselineP50)
+            spread = baseP95 / d.baselineP50 - 1;
+        d.band = std::max(opts.band, spread);
+
+        if (d.baselineP50 > 0) {
+            d.ratio = d.freshP50 / d.baselineP50;
+            d.pass = d.ratio <= 1 + d.band &&
+                     d.ratio >= 1 / (1 + d.band);
+        } else {
+            // Zero baseline: only a zero fresh value matches. The
+            // JSON writer clamps non-finite numbers, so use a large
+            // finite ratio sentinel.
+            d.ratio = d.freshP50 == 0 ? 1 : 1e9;
+            d.pass = d.freshP50 == 0;
+        }
+        if (d.informational)
+            d.pass = true;
+        else if (!d.pass)
+            result->pass = false;
+        result->series.push_back(std::move(d));
+    }
+
+    for (const auto &kv : freshSeries->members())
+        if (baseSeries->find(kv.first) == nullptr)
+            result->notes.push_back("series '" + kv.first +
+                                    "' is new (no baseline yet)");
+    return true;
+}
+
+std::string
+benchDiffToJson(const BenchDiffResult &result, const RunMeta &meta)
+{
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("schema", JsonValue("pimhe-benchdiff/v1"));
+    doc.set("bench", JsonValue(result.bench));
+    doc.set("meta", metaJson(meta));
+
+    JsonValue series = JsonValue::makeArray();
+    for (const SeriesDiff &d : result.series) {
+        JsonValue one = JsonValue::makeObject();
+        one.set("name", JsonValue(d.name));
+        one.set("baseline_p50", JsonValue(d.baselineP50));
+        one.set("fresh_p50", JsonValue(d.freshP50));
+        one.set("ratio", JsonValue(d.ratio));
+        one.set("band", JsonValue(d.band));
+        one.set("informational", JsonValue(d.informational));
+        one.set("pass", JsonValue(d.pass));
+        series.push(std::move(one));
+    }
+    doc.set("series", std::move(series));
+
+    JsonValue notes = JsonValue::makeArray();
+    for (const std::string &n : result.notes)
+        notes.push(JsonValue(n));
+    doc.set("notes", std::move(notes));
+
+    doc.set("pass", JsonValue(result.pass));
+    return doc.dump(2) + "\n";
+}
+
+} // namespace obs
+} // namespace pimhe

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bench trajectory comparison: diff a fresh "pimhe-bench/v1" report
+ * against its committed baseline and judge each value series with a
+ * noise-band-aware ratio check.
+ *
+ * For every series the baseline carries, the check compares fresh
+ * p50 against baseline p50 as a ratio and demands it stay inside
+ * [1/(1+band), 1+band]. The band per series is widened by the
+ * baseline's own observed spread — max(configured band,
+ * baseline_p95/baseline_p50 - 1) — so a series that was noisy when
+ * baselined does not false-positive on re-measurement. The check is
+ * two-sided on purpose: the gated series are *modelled* (deterministic
+ * at any host thread count), so drift in either direction means the
+ * model or the kernels changed and re-baselining must be a conscious,
+ * reviewed act.
+ *
+ * Series whose name matches an informational pattern (host wall
+ * clock, thread counts — anything machine-dependent) are reported
+ * with their ratios but never fail the gate. A series present in the
+ * baseline but missing from the fresh report fails (silent coverage
+ * loss); a series new in the fresh report is noted and passes (it
+ * has no trajectory yet).
+ *
+ * The result serialises as "pimhe-benchdiff/v1"; tools/bench_compare
+ * is the CLI wrapper and CI's perf-gate consumes the exit code.
+ */
+
+#ifndef PIMHE_OBS_BENCHDIFF_H
+#define PIMHE_OBS_BENCHDIFF_H
+
+#include <string>
+#include <vector>
+
+#include "obs/artifact.h"
+
+namespace pimhe {
+namespace obs {
+
+/** Options for one baseline-vs-fresh comparison. */
+struct BenchDiffOptions
+{
+    /** Minimum allowed fractional drift band per series. */
+    double band = 0.10;
+
+    /**
+     * Multiply every fresh p50 by this factor before judging —
+     * the negative-test hook (e.g. 1.5 = injected 50 % slowdown).
+     * 1.0 is a no-op.
+     */
+    double injectFactor = 1.0;
+
+    /**
+     * Case-sensitive substrings marking machine-dependent series
+     * (reported, never gated).
+     */
+    std::vector<std::string> informationalSubstrings = {"wall",
+                                                        "host"};
+};
+
+/** Verdict for one series. */
+struct SeriesDiff
+{
+    std::string name;
+    double baselineP50 = 0;
+    double freshP50 = 0;
+    double ratio = 1;
+    double band = 0; //!< effective (noise-widened) band applied
+    bool informational = false;
+    bool pass = true;
+};
+
+/** Full comparison result. */
+struct BenchDiffResult
+{
+    std::string bench;
+    std::vector<SeriesDiff> series;
+    std::vector<std::string> notes; //!< coverage changes, mismatches
+    bool pass = true;
+};
+
+/**
+ * Compare two "pimhe-bench/v1" documents (raw JSON text). Returns
+ * false with a diagnostic in *err when either document fails to
+ * parse/validate or the bench names differ; the judgement itself
+ * (regressions) lands in result->pass, never in *err.
+ */
+bool compareBenchReports(const std::string &baselineText,
+                         const std::string &freshText,
+                         const BenchDiffOptions &opts,
+                         BenchDiffResult *result, std::string *err);
+
+/** Render a comparison result as "pimhe-benchdiff/v1" JSON. */
+std::string benchDiffToJson(const BenchDiffResult &result,
+                            const RunMeta &meta);
+
+} // namespace obs
+} // namespace pimhe
+
+#endif // PIMHE_OBS_BENCHDIFF_H

@@ -1,0 +1,211 @@
+#include "obs/calib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/stats.h"
+#include "obs/json.h"
+
+namespace pimhe {
+namespace obs {
+
+namespace {
+
+bool
+envEnablesCalib()
+{
+    const char *v = std::getenv("PIMHE_OBS");
+    if (v == nullptr)
+        return false;
+    return std::strcmp(v, "1") == 0 || std::strcmp(v, "all") == 0 ||
+           std::strcmp(v, "calib") == 0;
+}
+
+/**
+ * Relative error of a prediction against a measurement. A zero
+ * measurement with a zero prediction is a perfect hit; a zero
+ * measurement with a nonzero prediction is charged against the
+ * prediction's own magnitude so the error stays finite (and lands
+ * at 1.0, i.e. 100 % off).
+ */
+double
+relErr(double predicted, double measured)
+{
+    const double denom = std::abs(measured) > 0
+                             ? std::abs(measured)
+                             : std::abs(predicted);
+    if (denom == 0)
+        return 0;
+    return std::abs(predicted - measured) / denom;
+}
+
+RelErrStat
+summarise(std::vector<double> &errs)
+{
+    RelErrStat s;
+    if (errs.empty())
+        return s;
+    std::sort(errs.begin(), errs.end());
+    s.p50 = p50(errs);
+    s.p95 = p95(errs);
+    s.max = errs.back();
+    return s;
+}
+
+JsonValue
+relErrJson(const RelErrStat &s)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("p50", JsonValue(s.p50));
+    o.set("p95", JsonValue(s.p95));
+    o.set("max", JsonValue(s.max));
+    return o;
+}
+
+} // namespace
+
+Calibration &
+Calibration::global()
+{
+    // Leaked for the same reason as Registry::global(): records may
+    // arrive during static destruction.
+    static Calibration *g = [] {
+        auto *c = new Calibration();
+        c->setEnabled(envEnablesCalib());
+        return c;
+    }();
+    return *g;
+}
+
+void
+Calibration::record(AttributionRecord rec)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(m_);
+    records_.push_back(std::move(rec));
+}
+
+void
+Calibration::clear()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    records_.clear();
+}
+
+std::size_t
+Calibration::recordCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return records_.size();
+}
+
+CalibVerdict
+Calibration::aggregate(double band) const
+{
+    std::vector<AttributionRecord> records;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        records = records_;
+    }
+
+    CalibVerdict verdict;
+    verdict.records = records.size();
+
+    // Group indices by (kernel, backend), first-appearance order.
+    struct Group
+    {
+        std::string kernel;
+        std::string backend;
+        std::vector<const AttributionRecord *> recs;
+    };
+    std::vector<Group> groups;
+    for (const AttributionRecord &r : records) {
+        Group *g = nullptr;
+        for (Group &cand : groups)
+            if (cand.kernel == r.kernel && cand.backend == r.backend)
+                g = &cand;
+        if (g == nullptr) {
+            groups.push_back({r.kernel, r.backend, {}});
+            g = &groups.back();
+        }
+        g->recs.push_back(&r);
+    }
+
+    for (const Group &g : groups) {
+        CalibKernelStats ks;
+        ks.kernel = g.kernel;
+        ks.backend = g.backend;
+        ks.samples = g.recs.size();
+        ks.band = band;
+
+        std::vector<double> msErrs, cycErrs;
+        for (const AttributionRecord *r : g.recs) {
+            ks.predictedMsTotal += r->predictedMs;
+            ks.measuredMsTotal += r->measuredMs;
+            msErrs.push_back(relErr(r->predictedMs, r->measuredMs));
+            cycErrs.push_back(relErr(r->predictedKernelCycles,
+                                     r->measuredKernelCycles));
+            ks.bytesRelErrMax =
+                std::max(ks.bytesRelErrMax,
+                         relErr(r->predictedBusBytes,
+                                r->measuredBusBytes));
+            ks.launchCountMismatch =
+                std::max(ks.launchCountMismatch,
+                         std::abs(r->predictedLaunches -
+                                  r->measuredLaunches));
+        }
+        ks.msRelErr = summarise(msErrs);
+        ks.cyclesRelErr = summarise(cycErrs);
+
+        // Drift gate: modelled-ms p95 and bus-byte max inside the
+        // band, launch counts exact.
+        ks.pass = ks.msRelErr.p95 <= band &&
+                  ks.bytesRelErrMax <= band &&
+                  ks.launchCountMismatch == 0;
+        verdict.pass = verdict.pass && ks.pass;
+        verdict.kernels.push_back(std::move(ks));
+    }
+    return verdict;
+}
+
+std::string
+Calibration::toJson(const std::string &subject, double band) const
+{
+    const CalibVerdict verdict = aggregate(band);
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("schema", JsonValue("pimhe-calib/v1"));
+    doc.set("subject", JsonValue(subject));
+    doc.set("band_default", JsonValue(band));
+    doc.set("records",
+            JsonValue(static_cast<std::uint64_t>(verdict.records)));
+
+    JsonValue kernels = JsonValue::makeArray();
+    for (const CalibKernelStats &ks : verdict.kernels) {
+        JsonValue one = JsonValue::makeObject();
+        one.set("kernel", JsonValue(ks.kernel));
+        one.set("backend", JsonValue(ks.backend));
+        one.set("samples", JsonValue(static_cast<std::uint64_t>(
+                               ks.samples)));
+        one.set("predicted_ms_total",
+                JsonValue(ks.predictedMsTotal));
+        one.set("measured_ms_total", JsonValue(ks.measuredMsTotal));
+        one.set("ms_rel_err", relErrJson(ks.msRelErr));
+        one.set("cycles_rel_err", relErrJson(ks.cyclesRelErr));
+        one.set("bytes_rel_err_max", JsonValue(ks.bytesRelErrMax));
+        one.set("launch_count_mismatch",
+                JsonValue(ks.launchCountMismatch));
+        one.set("band", JsonValue(ks.band));
+        one.set("pass", JsonValue(ks.pass));
+        kernels.push(std::move(one));
+    }
+    doc.set("kernels", std::move(kernels));
+    doc.set("pass", JsonValue(verdict.pass));
+    return doc.dump(2) + "\n";
+}
+
+} // namespace obs
+} // namespace pimhe

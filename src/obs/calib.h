@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Cost-model calibration: predicted-vs-measured attribution records
+ * and the drift-band aggregator behind the "pimhe-calib/v1" report.
+ *
+ * Every certified plan execution can emit one AttributionRecord per
+ * op, pairing what the static cost model (analysis/plan_cost.h)
+ * predicted for that node — modelled milliseconds, kernel cycles,
+ * bus bytes, launch count, per backend — with what the simulator
+ * actually charged while running it. The Calibration aggregator
+ * groups records by (kernel, backend) and reduces each group's
+ * relative-error sample to nearest-rank p50/p95/max (common/stats.h),
+ * judged against a configurable drift band.
+ *
+ * A kernel group passes when its p95 modelled-ms relative error and
+ * its max bus-byte relative error are both inside the band; launch
+ * counts must match exactly (the model counts launches, it does not
+ * estimate them). The report's aggregate `pass` is the conjunction,
+ * and an empty aggregator (zero recorded launches) passes vacuously
+ * with `records: 0` — gates that require coverage must additionally
+ * check the record count.
+ *
+ * Recording is mutex-protected and per-op (never per element); when
+ * disabled, record() returns after one relaxed atomic load, and the
+ * orchestrator skips building records entirely. Like Registry and
+ * Tracer, the process-wide instance is enabled by PIMHE_OBS ("1",
+ * "all" or "calib").
+ */
+
+#ifndef PIMHE_OBS_CALIB_H
+#define PIMHE_OBS_CALIB_H
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pimhe {
+namespace obs {
+
+/** One predicted-vs-measured record for a single executed op. */
+struct AttributionRecord
+{
+    std::string kernel;  //!< HeOp name ("Add", "Mul", ...)
+    std::string backend; //!< "pim-staged", "pim-resident", "host"
+    std::string subject; //!< plan name the op ran inside
+
+    double predictedMs = 0; //!< modelled ms the cost model charged
+    double measuredMs = 0;  //!< modelled ms the simulator charged
+
+    double predictedKernelCycles = 0;
+    double measuredKernelCycles = 0;
+
+    double predictedBusBytes = 0;
+    double measuredBusBytes = 0;
+
+    double predictedLaunches = 0;
+    double measuredLaunches = 0;
+};
+
+/** Relative-error distribution summary (nearest-rank). */
+struct RelErrStat
+{
+    double p50 = 0;
+    double p95 = 0;
+    double max = 0;
+};
+
+/** Aggregated verdict for one (kernel, backend) group. */
+struct CalibKernelStats
+{
+    std::string kernel;
+    std::string backend;
+    std::size_t samples = 0;
+    double predictedMsTotal = 0;
+    double measuredMsTotal = 0;
+    RelErrStat msRelErr;
+    RelErrStat cyclesRelErr;
+    double bytesRelErrMax = 0;
+    double launchCountMismatch = 0; //!< max |pred - meas| launches
+    double band = 0;                //!< drift band applied
+    bool pass = false;
+};
+
+/** Full aggregation result. */
+struct CalibVerdict
+{
+    std::vector<CalibKernelStats> kernels;
+    std::size_t records = 0;
+    bool pass = true; //!< vacuously true with zero records
+};
+
+class Calibration
+{
+  public:
+    /** Default drift band: p95 model error within 25 %. */
+    static constexpr double kDefaultBand = 0.25;
+
+    Calibration() = default;
+    Calibration(const Calibration &) = delete;
+    Calibration &operator=(const Calibration &) = delete;
+
+    /**
+     * Process-wide aggregator. First use reads PIMHE_OBS ("1", "all"
+     * or "calib" enable it); setEnabled() overrides afterwards.
+     */
+    static Calibration &global();
+
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Record one attribution sample; no-op when disabled. */
+    void record(AttributionRecord rec);
+
+    /** Drop all recorded samples. */
+    void clear();
+
+    std::size_t recordCount() const;
+
+    /**
+     * Aggregate all records into per-(kernel, backend) error
+     * distributions judged against `band` (fractional, e.g. 0.25).
+     * Groups are ordered by first appearance.
+     */
+    CalibVerdict aggregate(double band = kDefaultBand) const;
+
+    /**
+     * Render the "pimhe-calib/v1" report. `subject` labels the run
+     * (e.g. the sweep or tool that produced the records).
+     */
+    std::string toJson(const std::string &subject,
+                       double band = kDefaultBand) const;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex m_;
+    std::vector<AttributionRecord> records_;
+};
+
+} // namespace obs
+} // namespace pimhe
+
+#endif // PIMHE_OBS_CALIB_H

@@ -178,12 +178,27 @@ validateChromeTraceJson(const std::string &text, std::string *err)
         const std::string ph = e.find("ph")->asString();
         if (ph == "M")
             continue;
-        if (ph != "B" && ph != "E" && ph != "i")
+        if (ph != "B" && ph != "E" && ph != "i" && ph != "C")
             return failWith(err, where + ": unexpected ph '" + ph +
                                      "'");
         if (!requireNumber(e, "ts", err, where))
             return false;
         const double ts = e.find("ts")->asNumber();
+        if (ph == "C") {
+            // Counter samples carry a flat numeric args object and
+            // take no part in the B/E lane stacks.
+            const JsonValue *args = e.find("args");
+            if (args == nullptr || !args->isObject() ||
+                args->members().empty())
+                return failWith(err,
+                                where + ": counter missing args");
+            for (const auto &kv : args->members())
+                if (!kv.second.isNumber())
+                    return failWith(err, where + ": counter value '" +
+                                             kv.first +
+                                             "' is not a number");
+            continue;
+        }
         if (ph == "i")
             continue;
         ++be_events;
@@ -349,6 +364,97 @@ validateBenchJson(const std::string &text, std::string *err)
         const JsonValue *pass = c.find("pass");
         if (pass == nullptr || !pass->isBool())
             return failWith(err, "band check missing bool 'pass'");
+    }
+    return true;
+}
+
+namespace {
+
+bool
+requireBool(const JsonValue &obj, const char *key, std::string *err,
+            const std::string &where)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isBool())
+        return failWith(err, where + ": missing bool '" + key + "'");
+    return true;
+}
+
+} // namespace
+
+bool
+validateCalibJson(const std::string &text, std::string *err)
+{
+    const JsonParseResult r = parseJson(text);
+    if (!r.ok)
+        return failWith(err, "not valid JSON: " + r.error);
+    if (!r.value.isObject())
+        return failWith(err, "top level is not an object");
+    const JsonValue *schema = r.value.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "pimhe-calib/v1")
+        return failWith(err, "missing or wrong schema tag");
+    if (!requireString(r.value, "subject", err, "report") ||
+        !requireNumber(r.value, "records", err, "report") ||
+        !requireBool(r.value, "pass", err, "report"))
+        return false;
+    const JsonValue *kernels = r.value.find("kernels");
+    if (kernels == nullptr || !kernels->isArray())
+        return failWith(err, "missing kernels array");
+    for (std::size_t i = 0; i < kernels->items().size(); ++i) {
+        const JsonValue &k = kernels->items()[i];
+        const std::string where = "kernel " + std::to_string(i);
+        if (!k.isObject())
+            return failWith(err, where + ": not an object");
+        if (!requireString(k, "kernel", err, where) ||
+            !requireString(k, "backend", err, where) ||
+            !requireNumber(k, "samples", err, where) ||
+            !requireNumber(k, "band", err, where) ||
+            !requireBool(k, "pass", err, where))
+            return false;
+        const JsonValue *rel = k.find("ms_rel_err");
+        if (rel == nullptr || !rel->isObject())
+            return failWith(err, where + ": missing ms_rel_err");
+        for (const char *field : {"p50", "p95", "max"})
+            if (!requireNumber(*rel, field, err,
+                               where + " ms_rel_err"))
+                return false;
+    }
+    return true;
+}
+
+bool
+validateBenchDiffJson(const std::string &text, std::string *err)
+{
+    const JsonParseResult r = parseJson(text);
+    if (!r.ok)
+        return failWith(err, "not valid JSON: " + r.error);
+    if (!r.value.isObject())
+        return failWith(err, "top level is not an object");
+    const JsonValue *schema = r.value.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "pimhe-benchdiff/v1")
+        return failWith(err, "missing or wrong schema tag");
+    if (!requireString(r.value, "bench", err, "report") ||
+        !requireBool(r.value, "pass", err, "report"))
+        return false;
+    const JsonValue *series = r.value.find("series");
+    if (series == nullptr || !series->isArray())
+        return failWith(err, "missing series array");
+    for (std::size_t i = 0; i < series->items().size(); ++i) {
+        const JsonValue &s = series->items()[i];
+        const std::string where = "series " + std::to_string(i);
+        if (!s.isObject())
+            return failWith(err, where + ": not an object");
+        if (!requireString(s, "name", err, where) ||
+            !requireNumber(s, "baseline_p50", err, where) ||
+            !requireNumber(s, "fresh_p50", err, where) ||
+            !requireNumber(s, "ratio", err, where) ||
+            !requireNumber(s, "band", err, where))
+            return false;
+        if (!requireBool(s, "informational", err, where) ||
+            !requireBool(s, "pass", err, where))
+            return false;
     }
     return true;
 }

@@ -9,6 +9,8 @@
  *  - "pimhe-chrome-trace/v1": Chrome trace-event JSON
  *  - "pimhe-trace-jsonl/v1":  compact JSONL span stream
  *  - "pimhe-bench/v1":        BENCH_<name>.json bench reports
+ *  - "pimhe-calib/v1":        cost-model calibration reports
+ *  - "pimhe-benchdiff/v1":    bench baseline-vs-fresh diff reports
  */
 
 #ifndef PIMHE_OBS_REPORT_H
@@ -54,6 +56,24 @@ bool validateTraceJsonl(const std::string &text, std::string *err);
 
 /** Validate a BENCH_<name>.json bench report. */
 bool validateBenchJson(const std::string &text, std::string *err);
+
+/**
+ * Validate a cost-model calibration report: schema tag, subject
+ * string, kernels array where every entry carries kernel/backend
+ * labels, a sample count, a rel_err {p50, p95, max} block, the drift
+ * band it was judged against and a bool verdict, plus the top-level
+ * aggregate pass flag.
+ */
+bool validateCalibJson(const std::string &text, std::string *err);
+
+/**
+ * Validate a bench baseline-vs-fresh diff report: schema tag, bench
+ * name, series array where every entry carries the series name,
+ * baseline/fresh values, the ratio, the (noise-widened) band, the
+ * informational flag and a bool verdict, plus the top-level
+ * aggregate pass flag.
+ */
+bool validateBenchDiffJson(const std::string &text, std::string *err);
 
 } // namespace obs
 } // namespace pimhe

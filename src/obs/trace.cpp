@@ -105,6 +105,16 @@ Tracer::recordInstant(TraceInstant instant)
 }
 
 void
+Tracer::recordCounter(TraceCounter counter)
+{
+    if (!enabled())
+        return;
+    counter.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(m_);
+    counters_.push_back(std::move(counter));
+}
+
+void
 Tracer::captureLogging()
 {
     setLogSink([this](LogLevel level, const std::string &msg) {
@@ -125,6 +135,7 @@ Tracer::clear()
     std::lock_guard<std::mutex> lock(m_);
     spans_.clear();
     instants_.clear();
+    counters_.clear();
 }
 
 std::size_t
@@ -141,15 +152,24 @@ Tracer::instantCount() const
     return instants_.size();
 }
 
+std::size_t
+Tracer::counterCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return counters_.size();
+}
+
 void
 Tracer::writeChromeTrace(std::ostream &os) const
 {
     std::vector<TraceSpan> spans;
     std::vector<TraceInstant> instants;
+    std::vector<TraceCounter> counters;
     {
         std::lock_guard<std::mutex> lock(m_);
         spans = spans_;
         instants = instants_;
+        counters = counters_;
     }
 
     // Group spans per (pid, tid) so each lane can be emitted with
@@ -216,6 +236,13 @@ Tracer::writeChromeTrace(std::ostream &os) const
                           e.dump()});
     }
 
+    for (const TraceCounter &c : counters) {
+        JsonValue e = baseEvent("C", c.pid, c.tid, c.tsUs, c.name);
+        e.set("args", argsJson(c.values, {}));
+        events.push_back({c.tsUs, static_cast<std::size_t>(-1),
+                          e.dump()});
+    }
+
     // Global timestamp sort; stable so each lane's nesting-correct
     // relative order survives timestamp ties.
     std::stable_sort(events.begin(), events.end(),
@@ -252,10 +279,12 @@ Tracer::writeJsonl(std::ostream &os) const
 {
     std::vector<TraceSpan> spans;
     std::vector<TraceInstant> instants;
+    std::vector<TraceCounter> counters;
     {
         std::lock_guard<std::mutex> lock(m_);
         spans = spans_;
         instants = instants_;
+        counters = counters_;
     }
     std::stable_sort(spans.begin(), spans.end(),
                      [](const TraceSpan &a, const TraceSpan &b) {
@@ -292,6 +321,17 @@ Tracer::writeJsonl(std::ostream &os) const
         line.set("ts_us", JsonValue(i.tsUs));
         if (!i.strArgs.empty())
             line.set("args", argsJson({}, i.strArgs));
+        os << line.dump() << "\n";
+    }
+    for (const TraceCounter &c : counters) {
+        JsonValue line = JsonValue::makeObject();
+        line.set("kind", JsonValue("counter"));
+        line.set("track", JsonValue(c.pid == kModelPid ? "modelled"
+                                                       : "host"));
+        line.set("tid", JsonValue(static_cast<double>(c.tid)));
+        line.set("name", JsonValue(c.name));
+        line.set("ts_us", JsonValue(c.tsUs));
+        line.set("values", argsJson(c.values, {}));
         os << line.dump() << "\n";
     }
 }

@@ -61,6 +61,24 @@ struct TraceInstant
     std::uint64_t seq = 0;
 };
 
+/**
+ * One counter sample (Chrome "C" event). Perfetto renders every
+ * counter name as its own stacked track, so a sample series like
+ * pim.bus {up_bytes, down_bytes} plots transfer volume against the
+ * span tracks — the transfer-vs-compute overlap view the async
+ * pipelining work needs. Samples on the modelled track use the same
+ * modelled-time cursor as the launch spans.
+ */
+struct TraceCounter
+{
+    int pid = 0;
+    std::uint64_t tid = 0;
+    std::string name;
+    double tsUs = 0;
+    std::vector<std::pair<std::string, double>> values;
+    std::uint64_t seq = 0;
+};
+
 class Tracer
 {
   public:
@@ -99,6 +117,9 @@ class Tracer
     /** Record an instant event; no-op when disabled. */
     void recordInstant(TraceInstant instant);
 
+    /** Record a counter sample; no-op when disabled. */
+    void recordCounter(TraceCounter counter);
+
     /**
      * Route warn()/inform() through this tracer as instant events on
      * the host track (in addition to the default console output).
@@ -117,6 +138,7 @@ class Tracer
 
     std::size_t spanCount() const;
     std::size_t instantCount() const;
+    std::size_t counterCount() const;
 
   private:
     std::atomic<bool> enabled_{false};
@@ -126,6 +148,7 @@ class Tracer
     mutable std::mutex m_;
     std::vector<TraceSpan> spans_;
     std::vector<TraceInstant> instants_;
+    std::vector<TraceCounter> counters_;
 };
 
 /**

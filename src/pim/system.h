@@ -132,6 +132,7 @@ class DpuSet
             tracer.recordSpan(std::move(s));
         }
         modelCursorUs_ += ms * 1e3;
+        recordBusCounter(tracer);
     }
 
     /** Broadcast the same bytes into every DPU's MRAM. */
@@ -350,6 +351,20 @@ class DpuSet
                     {"kernel", footprint.kernel},
                     {"ok", lastVerify_.ok() ? "true" : "false"}};
                 tracer.recordInstant(std::move(mark));
+
+                // WRAM high-water of the upcoming launch: sampled at
+                // the current model cursor so the counter steps right
+                // before the launch span it budgets.
+                obs::TraceCounter wram;
+                wram.pid = obs::Tracer::kModelPid;
+                wram.tid = 0;
+                wram.name = "pim.wram";
+                wram.tsUs = modelCursorUs_;
+                wram.values = {
+                    {"high_water_bytes",
+                     static_cast<double>(
+                         footprint.wramTotal(num_tasklets))}};
+                tracer.recordCounter(std::move(wram));
             }
 
             if (!lastVerify_.ok())
@@ -527,6 +542,30 @@ class DpuSet
                                                  kernel_us));
         }
         modelCursorUs_ += h2d_us + kernel_us + overhead_us;
+        recordBusCounter(tracer);
+    }
+
+    /**
+     * Sample the cumulative bus-byte totals as a Chrome counter on
+     * the modelled track. Called after every cursor advance (launch,
+     * download), so Perfetto plots transfer volume against the
+     * kernel/transfer spans — the transfer-vs-compute overlap view.
+     */
+    void
+    recordBusCounter(obs::Tracer &tracer)
+    {
+        if (!tracer.enabled())
+            return;
+        obs::TraceCounter c;
+        c.pid = obs::Tracer::kModelPid;
+        c.tid = 0;
+        c.name = "pim.bus";
+        c.tsUs = modelCursorUs_;
+        c.values = {
+            {"up_bytes", static_cast<double>(xfer_.uploadedBytes)},
+            {"down_bytes",
+             static_cast<double>(xfer_.downloadedBytes)}};
+        tracer.recordCounter(std::move(c));
     }
 
     /**

@@ -32,6 +32,7 @@
 #include "analysis/he_dag.h"
 #include "analysis/noise.h"
 #include "analysis/plan_cost.h"
+#include "obs/calib.h"
 #include "bfv/ciphertext.h"
 #include "bfv/context.h"
 #include "bfv/evaluator.h"
@@ -335,11 +336,31 @@ class PimHeSystem
         hasCostEstimate_ = true;
         if (!noiseCheck_.ok() || !costEstimate_.ok())
             return false;
-        costEstimate_ = analysis::estimateCost(
-            dag, costSpecFor(costModel_, N, ctx_.ring().degree(),
-                             digits, dpus_.size(), tag));
+        costSpec_ = costSpecFor(costModel_, N, ctx_.ring().degree(),
+                                digits, dpus_.size(), tag);
+        if (staleFitScale_ != 1.0) {
+            costSpec_.addCycles.base *= staleFitScale_;
+            costSpec_.addCycles.slope *= staleFitScale_;
+            costSpec_.mulCycles.base *= staleFitScale_;
+            costSpec_.mulCycles.slope *= staleFitScale_;
+            costSpec_.convCycles.base *= staleFitScale_;
+            costSpec_.convCycles.linear *= staleFitScale_;
+            costSpec_.convCycles.quadratic *= staleFitScale_;
+        }
+        hasCostSpec_ = true;
+        costEstimate_ = analysis::estimateCost(dag, costSpec_);
         return true;
     }
+
+    /**
+     * Negative-test hook for the calibration gate: scale every probed
+     * cycle fit by `scale` in all subsequent certifications, so the
+     * predictions flowing into runPlan's attribution records are
+     * genuinely stale while the measurements stay honest. A scale of
+     * 2.0 models a cost model probed on kernels that have since
+     * doubled in speed; Calibration::aggregate must flag it.
+     */
+    void injectStaleFits(double scale) { staleFitScale_ = scale; }
 
     /** Noise report of the most recent certifyPlan (or the one
      *  runPlan performed under verifyBeforeLaunch). */
@@ -388,11 +409,25 @@ class PimHeSystem
                                            : costEstimate_.summary());
         }
         const Evaluator<N> ev(ctx_);
+
+        // Calibration attribution: when the aggregator is live and
+        // this plan carries a probed cost estimate whose rows line up
+        // with the DAG, every PIM-backed node gets one record pairing
+        // its predicted delta with the simulator's measured delta.
+        obs::Calibration &calib = obs::Calibration::global();
+        const bool attribute =
+            calib.enabled() && hasCostSpec_ && hasCostEstimate_ &&
+            costEstimate_.ok() &&
+            costEstimate_.rows.size() == dag.size();
+        const auto measureNow = [&]() { return measuredCursor(); };
+
         std::vector<Ciphertext<N>> val(dag.size());
         std::vector<Ciphertext<N>> outs;
         std::size_t next_input = 0;
         for (analysis::NodeId id = 0; id < dag.size(); ++id) {
             const analysis::HeNode &node = dag[id];
+            const MeasuredCursor before =
+                attribute ? measureNow() : MeasuredCursor{};
             const auto arg = [&](std::size_t i) -> const Ciphertext<N> & {
                 return val[node.args[i]];
             };
@@ -458,6 +493,9 @@ class PimHeSystem
                 outs.push_back(val[id]);
                 break;
             }
+            if (attribute)
+                recordAttribution(node, costEstimate_.rows[id],
+                                  before, measureNow(), calib);
         }
         return outs;
     }
@@ -490,6 +528,106 @@ class PimHeSystem
     }
 
   private:
+    /** Snapshot of the simulator's cumulative modelled accounting —
+     *  this system's DpuSet plus the context convolver's. */
+    struct MeasuredCursor
+    {
+        double modeledMs = 0;
+        double kernelCycles = 0;
+        std::uint64_t busBytes = 0;
+        std::uint64_t launches = 0;
+    };
+
+    MeasuredCursor
+    measuredCursor() const
+    {
+        MeasuredCursor m;
+        m.modeledMs = dpus_.totalModeledMs();
+        m.busBytes = dpus_.transferTotals().busBytes();
+        m.launches = dpus_.launches().size();
+        for (const pim::LaunchStats &l : dpus_.launches())
+            m.kernelCycles += l.maxCycles;
+        // The context convolver (PIM-backed when a PimConvolver is
+        // installed) owns a separate DpuSet; fold its usage in
+        // through the layering-neutral ExactConvolver hook.
+        const ConvolverUsage u = ctx_.convolver().usage();
+        m.modeledMs += u.modeledMs;
+        m.kernelCycles += u.kernelCycles;
+        m.busBytes += u.busBytes;
+        m.launches += u.launches;
+        return m;
+    }
+
+    /**
+     * Emit one calibration record for a PIM-backed plan node: the
+     * cost model's per-node delta (the backend runPlan actually uses
+     * for that op) against the simulator deltas measured around its
+     * execution. Host-evaluator ops and ops the installed convolver
+     * ran host-side (zero measured launches) are skipped — their
+     * "measurement" would be wall-clock noise, not modelled time.
+     */
+    void
+    recordAttribution(const analysis::HeNode &node,
+                      const analysis::OpCostRow &row,
+                      const MeasuredCursor &before,
+                      const MeasuredCursor &after,
+                      obs::Calibration &calib) const
+    {
+        analysis::OpBackendDelta pred;
+        const char *backend = nullptr;
+        switch (node.op) {
+          case analysis::HeOp::Add:
+          case analysis::HeOp::FusedAddMul:
+          case analysis::HeOp::Mul:
+          case analysis::HeOp::Square:
+          case analysis::HeOp::MulPlain:
+            // runPlan stages these: upload/convolve/download per op.
+            pred = row.pimStaged;
+            backend = "pim-staged";
+            break;
+          case analysis::HeOp::Reduce: {
+            // runPlan folds in MRAM, then materialises eagerly where
+            // the resident walk defers the download to the consumer;
+            // charge that one download to the prediction with the
+            // model's own rate arithmetic.
+            if (node.args.size() < 2)
+                return; // single-term reduce never touches the device
+            pred = row.pimResident;
+            const std::uint64_t ct =
+                analysis::ciphertextBytes(costSpec_);
+            pred.ms += analysis::modeledDownloadMs(costSpec_, ct);
+            pred.busBytes += ct;
+            backend = "pim-resident";
+            break;
+          }
+          default:
+            return; // host/client-side op: nothing to calibrate
+        }
+        if (after.launches == before.launches)
+            return; // executed host-side (e.g. schoolbook convolver)
+
+        obs::AttributionRecord rec;
+        rec.kernel = analysis::toString(node.op);
+        rec.backend = backend;
+        rec.subject = costEstimate_.subject;
+        rec.predictedMs = pred.ms;
+        rec.measuredMs = after.modeledMs - before.modeledMs;
+        // The model converts cycles to ms with the spec clock; invert
+        // it so kernel cycles compare in the simulator's unit.
+        rec.predictedKernelCycles =
+            pred.kernelMs * costSpec_.clockMhz * 1e3;
+        rec.measuredKernelCycles =
+            after.kernelCycles - before.kernelCycles;
+        rec.predictedBusBytes =
+            static_cast<double>(pred.busBytes);
+        rec.measuredBusBytes =
+            static_cast<double>(after.busBytes - before.busBytes);
+        rec.predictedLaunches = static_cast<double>(pred.launches);
+        rec.measuredLaunches =
+            static_cast<double>(after.launches - before.launches);
+        calib.record(std::move(rec));
+    }
+
     pimhe_kernels::VecKernelParams
     vecParams(std::uint64_t a, std::uint64_t b, std::uint64_t out,
               std::uint64_t elems) const
@@ -713,8 +851,11 @@ class PimHeSystem
     PimCostModel costModel_; //!< fit probes for certifyPlan (cached)
     analysis::NoiseReport noiseCheck_;
     analysis::CostReport costEstimate_;
+    analysis::CostSpec costSpec_; //!< probed spec of the last certify
     bool hasNoiseCheck_ = false;
     bool hasCostEstimate_ = false;
+    bool hasCostSpec_ = false;
+    double staleFitScale_ = 1.0; //!< injectStaleFits (tests/CI only)
 };
 
 /**
@@ -832,6 +973,21 @@ class PimConvolver : public ExactConvolver<N>
     }
 
     std::string name() const override { return "pim-schoolbook"; }
+
+    /** Simulator accounting of this convolver's own DpuSet, exposed
+     *  through the layering-neutral hook so PimHeSystem can attribute
+     *  convolution charges to the plan ops that triggered them. */
+    ConvolverUsage
+    usage() const override
+    {
+        ConvolverUsage u;
+        u.modeledMs = dpus_.totalModeledMs();
+        u.busBytes = dpus_.transferTotals().busBytes();
+        u.launches = dpus_.launches().size();
+        for (const pim::LaunchStats &l : dpus_.launches())
+            u.kernelCycles += l.maxCycles;
+        return u;
+    }
 
     /** Modelled PIM time spent in convolutions so far (ms). */
     double totalModeledMs() const { return dpus_.totalModeledMs(); }

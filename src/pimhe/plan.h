@@ -54,20 +54,37 @@ probeElementwiseFit(const PimCostModel &model, perf::OpKind op,
     return fit;
 }
 
-/** Fit cycles(n) = linear*n + quadratic*n^2 for one convolution
- *  pair from two probe degrees. */
+/**
+ * Fit cycles(n) = base + linear*n + quadratic*n^2 for one convolution
+ * pair from three probe degrees. Three points are required because
+ * the per-launch base must be separated from the per-row work: a
+ * two-point fit folds startup into the linear term, and the row-
+ * sharded prediction (analysis convMs) then wrongly divides it by
+ * the DPU count — the drift the calibration sweep flags.
+ */
 inline analysis::QuadCycleFit
 probeConvolutionFit(const PimCostModel &model, std::size_t limbs)
 {
     const std::size_t n1 = 4 * model.tasklets();
     const std::size_t n2 = 2 * n1;
+    const std::size_t n3 = 4 * n1;
     const double c1 = model.simulateConvolutionCycles(n1, limbs);
     const double c2 = model.simulateConvolutionCycles(n2, limbs);
+    const double c3 = model.simulateConvolutionCycles(n3, limbs);
     const double a1 = static_cast<double>(n1);
     const double a2 = static_cast<double>(n2);
+    const double a3 = static_cast<double>(n3);
+    // Divided differences over the three samples.
+    const double s1 = c2 - c1;
+    const double s2 = c3 - c2;
+    const double t1 = a2 - a1;
+    const double t2 = a3 - a2;
+    const double u1 = a2 * a2 - a1 * a1;
+    const double u2 = a3 * a3 - a2 * a2;
     analysis::QuadCycleFit fit;
-    fit.quadratic = (c2 / a2 - c1 / a1) / (a2 - a1);
-    fit.linear = c1 / a1 - fit.quadratic * a1;
+    fit.quadratic = (s2 * t1 - s1 * t2) / (u2 * t1 - u1 * t2);
+    fit.linear = (s1 - fit.quadratic * u1) / t1;
+    fit.base = c1 - fit.linear * a1 - fit.quadratic * a1 * a1;
     return fit;
 }
 

@@ -194,6 +194,7 @@ class ResidentCache
             stats_.bytesAvoided += avoided;
             dpus_.noteResidentReuse(avoided);
             bumpCounter("pimhe.resident.hits");
+            recordResidencyCounter();
             return e.addr;
         }
         PIMHE_ASSERT(e.hostValid, "entry resident nowhere");
@@ -205,7 +206,32 @@ class ResidentCache
                                "resident region " + std::to_string(id));
         stats_.misses += 1;
         bumpCounter("pimhe.resident.misses");
+        recordResidencyCounter();
         return e.addr;
+    }
+
+    /**
+     * Sample the cumulative hit/miss/reuse totals as a Chrome counter
+     * on the host track, so Perfetto shows residency behaviour as a
+     * stepped track next to the op spans.
+     */
+    void
+    recordResidencyCounter() const
+    {
+        obs::Tracer &tracer = obs::Tracer::global();
+        if (!tracer.enabled())
+            return;
+        obs::TraceCounter c;
+        c.pid = obs::Tracer::kHostPid;
+        c.tid = 0;
+        c.name = "pimhe.resident";
+        c.tsUs = tracer.nowUs();
+        c.values = {
+            {"hits", static_cast<double>(stats_.hits)},
+            {"misses", static_cast<double>(stats_.misses)},
+            {"bytes_avoided",
+             static_cast<double>(stats_.bytesAvoided)}};
+        tracer.recordCounter(std::move(c));
     }
 
     /**

@@ -17,6 +17,7 @@
 #ifndef PIMHE_POLY_CONVOLVER_H
 #define PIMHE_POLY_CONVOLVER_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,22 @@ fromSignMagnitude(const U256 &mag, bool negative)
 } // namespace signed256
 
 /**
+ * Cumulative resource usage of a convolver engine. Host engines
+ * report all zeros (the default); accelerator-backed engines expose
+ * their simulator accounting so callers can attribute modelled time
+ * and bus traffic to the ops that triggered convolutions — without
+ * this layer ever naming the accelerator (poly/ cannot depend on
+ * pim/).
+ */
+struct ConvolverUsage
+{
+    double modeledMs = 0;        //!< total modelled time charged
+    double kernelCycles = 0;     //!< sum of per-launch kernel cycles
+    std::uint64_t busBytes = 0;  //!< uploaded + downloaded bytes
+    std::uint64_t launches = 0;  //!< kernel launches issued
+};
+
+/**
  * Strategy interface: exact negacyclic convolution over Z of the
  * centred lifts of two reduced polynomials.
  */
@@ -70,6 +87,13 @@ class ExactConvolver
 
     /** Human-readable engine name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Cumulative simulator accounting since construction. Host
+     * engines keep the zero default; accelerator-backed engines
+     * override (snapshot before/after an op to attribute usage).
+     */
+    virtual ConvolverUsage usage() const { return {}; }
 };
 
 /**

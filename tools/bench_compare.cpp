@@ -1,0 +1,152 @@
+/**
+ * @file
+ * bench_compare — the bench-trajectory regression gate.
+ *
+ * Diffs a fresh BENCH_<name>.json ("pimhe-bench/v1") against its
+ * committed baseline with the noise-band-aware ratio check in
+ * obs/benchdiff.h, prints a per-series verdict table, writes a
+ * "pimhe-benchdiff/v1" artifact and exits nonzero on regression —
+ * the exit code is what CI's perf-gate consumes.
+ *
+ * Usage:
+ *   bench_compare --baseline FILE --fresh FILE [options]
+ *
+ * Options:
+ *   --baseline FILE        committed pimhe-bench/v1 report (required)
+ *   --fresh FILE           freshly produced report (required)
+ *   --band F               minimum fractional drift band (default 0.10)
+ *   --inject-slowdown F    multiply fresh p50s by F before judging —
+ *                          the negative-test hook that proves the gate
+ *                          actually fires (default 1.0)
+ *   --out FILE             benchdiff artifact path (default:
+ *                          BENCHDIFF_<bench>.json in $PIMHE_BENCH_OUT
+ *                          or the working directory)
+ *
+ * Exit codes: 0 pass, 1 regression detected, 2 usage/IO/validation
+ * error. A regression and an IO error are deliberately distinct so a
+ * missing baseline never masquerades as a perf pass or a perf fail.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/artifact.h"
+#include "obs/benchdiff.h"
+#include "obs/report.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " --baseline FILE --fresh FILE [--band F]"
+                 " [--inject-slowdown F] [--out FILE]\n";
+    return 2;
+}
+
+bool
+parseDouble(const char *text, double *out)
+{
+    char *end = nullptr;
+    *out = std::strtod(text, &end);
+    return end != nullptr && *end == '\0' && end != text;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pimhe;
+
+    std::string baselinePath;
+    std::string freshPath;
+    std::string outPath;
+    obs::BenchDiffOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--baseline" && hasValue) {
+            baselinePath = argv[++i];
+        } else if (arg == "--fresh" && hasValue) {
+            freshPath = argv[++i];
+        } else if (arg == "--out" && hasValue) {
+            outPath = argv[++i];
+        } else if (arg == "--band" && hasValue) {
+            if (!parseDouble(argv[++i], &opts.band) || opts.band <= 0) {
+                std::cerr << "bench_compare: bad --band value\n";
+                return 2;
+            }
+        } else if (arg == "--inject-slowdown" && hasValue) {
+            if (!parseDouble(argv[++i], &opts.injectFactor) ||
+                opts.injectFactor <= 0) {
+                std::cerr
+                    << "bench_compare: bad --inject-slowdown value\n";
+                return 2;
+            }
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (baselinePath.empty() || freshPath.empty())
+        return usage(argv[0]);
+
+    std::string baselineText;
+    std::string freshText;
+    std::string err;
+    if (!obs::readFile(baselinePath, &baselineText, &err)) {
+        std::cerr << "bench_compare: " << err << "\n";
+        return 2;
+    }
+    if (!obs::readFile(freshPath, &freshText, &err)) {
+        std::cerr << "bench_compare: " << err << "\n";
+        return 2;
+    }
+
+    obs::BenchDiffResult result;
+    if (!obs::compareBenchReports(baselineText, freshText, opts,
+                                  &result, &err)) {
+        std::cerr << "bench_compare: " << err << "\n";
+        return 2;
+    }
+
+    std::cout << "=== bench_compare: " << result.bench
+              << " (band >= " << opts.band;
+    if (opts.injectFactor != 1.0)
+        std::cout << ", injected slowdown x" << opts.injectFactor;
+    std::cout << ") ===\n";
+    for (const obs::SeriesDiff &s : result.series) {
+        const char *tag = s.informational ? "[info] "
+                          : s.pass        ? "[PASS] "
+                                          : "[FAIL] ";
+        std::cout << "  " << tag << s.name << ": ratio " << s.ratio
+                  << " (baseline p50 " << s.baselineP50 << ", fresh p50 "
+                  << s.freshP50 << ", band " << s.band << ")\n";
+    }
+    for (const std::string &note : result.notes)
+        std::cout << "  [note] " << note << "\n";
+
+    std::string config = "band=" + std::to_string(opts.band);
+    if (opts.injectFactor != 1.0)
+        config += " inject=" + std::to_string(opts.injectFactor);
+    const std::string json = obs::benchDiffToJson(
+        result, obs::currentRunMeta(config));
+
+    if (outPath.empty())
+        outPath =
+            obs::joinPath(obs::outputDir("PIMHE_BENCH_OUT"),
+                          "BENCHDIFF_" + result.bench + ".json");
+    if (!obs::emitArtifact(outPath, json, &obs::validateBenchDiffJson,
+                           &err)) {
+        std::cerr << "bench_compare: " << err << "\n";
+        return 2;
+    }
+    std::cout << "wrote " << outPath << "\n";
+
+    std::cout << (result.pass ? "RESULT: PASS\n" : "RESULT: FAIL\n");
+    return result.pass ? 0 : 1;
+}

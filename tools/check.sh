@@ -86,14 +86,17 @@ run_pim_prove() {
 # Static HE-plan certifier: the shipped plan grid must certify against
 # every parameter set (exit 0) and each injected violation class —
 # over-deep mul chain, budget-exact boundary, bad plain modulus,
-# too-wide reduce fan-in — must be rejected with a witness (exit
-# nonzero), keeping both directions of the certifier honest.
+# too-wide reduce fan-in, stale cost-model fits — must be rejected
+# with a witness (exit nonzero), keeping both directions of the
+# certifier honest. The calibration sweep then executes the certified
+# plans on the simulator and demands the predicted-vs-measured drift
+# stays inside the band (exit 0).
 run_pim_certify() {
     local dir=$1
     local bin="${dir}/tools-build/pim_certify"
     echo "=== [${dir}] pim_certify sweep ==="
     "${bin}"
-    for kind in over-deep boundary bad-t reduce-wide all; do
+    for kind in over-deep boundary bad-t reduce-wide stale-fit all; do
         echo "=== [${dir}] pim_certify --inject ${kind} (must fail) ==="
         if "${bin}" --inject "${kind}" > /dev/null; then
             echo "pim_certify did not reject --inject ${kind}" >&2
@@ -101,6 +104,11 @@ run_pim_certify() {
         fi
     done
     echo "injected certification violations correctly rejected"
+    echo "=== [${dir}] pim_certify --calibrate (must pass) ==="
+    "${bin}" --calibrate \
+        --calib-out "${dir}/pim_calib_report.json" > /dev/null
+    test -s "${dir}/pim_calib_report.json"
+    echo "calibration sweep inside the drift band"
 }
 
 run_config() {

@@ -15,27 +15,47 @@
  *
  * Usage:
  *   pim_certify [--verbose] [--inject KIND] [--out FILE]
+ *               [--calibrate] [--band F] [--calib-out FILE]
  *
  * --inject seeds deliberately broken plans (KIND: over-deep,
- * boundary, bad-t, reduce-wide, or all); every class must be rejected
- * with its exact witness, driving the exit code nonzero so CI can
- * assert the rejection paths stay live.
+ * boundary, bad-t, reduce-wide, stale-fit, or all); every class must
+ * be rejected with its exact witness, driving the exit code nonzero
+ * so CI can assert the rejection paths stay live.
  * --out writes a schema-versioned JSON artifact ("pimhe-certify/v1").
+ *
+ * --calibrate additionally EXECUTES a certified BFV add / reduce /
+ * mul / fused sweep on the simulated system with the calibration
+ * aggregator armed, so every PIM-backed op pairs its cost-model
+ * prediction with the simulator's measured charge; the aggregated
+ * per-kernel relative-error distributions are judged against --band
+ * (default 0.25) and exported as "pimhe-calib/v1" via --calib-out.
+ * A kernel group drifting outside the band fails the run. The
+ * stale-fit injection scales the probed cycle fits by 100x before
+ * the same sweep and demands the gate trips — the negative test that
+ * proves the calibration gate is alive.
  */
 
 #include <cstdint>
-#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "analysis/he_dag.h"
 #include "analysis/noise.h"
 #include "analysis/plan_cost.h"
+#include "bfv/context.h"
+#include "bfv/encryptor.h"
+#include "bfv/keys.h"
 #include "bfv/params.h"
 #include "common/cli.h"
+#include "common/rng.h"
+#include "obs/artifact.h"
+#include "obs/calib.h"
 #include "obs/json.h"
+#include "obs/report.h"
 #include "pimhe/cost_model.h"
+#include "pimhe/orchestrator.h"
 #include "pimhe/plan.h"
 
 namespace {
@@ -286,6 +306,13 @@ inject(const std::string &kind, bool verbose, Outcome &out)
         takeNoise(analysis::analyzeNoise(addChain(1), s), verbose,
                   out);
     }
+    if (all || kind == "stale-fit") {
+        // Cost model probed on kernels that have since doubled in
+        // speed: every prediction is ~2x the measurement, so the
+        // calibration gate must trip. Declared here, executed by the
+        // caller (it needs the full sweep machinery).
+        out.emit("     stale-fit: executed via calibration sweep\n");
+    }
     if (all || kind == "reduce-wide") {
         // Reduce fan-in too wide for the resident arena: a 512-way
         // reduction on one DPU with a 1 MB arena must produce an
@@ -308,15 +335,152 @@ inject(const std::string &kind, bool verbose, Outcome &out)
     }
 }
 
+// ----- calibration sweep (predicted vs measured attribution) -----
+
+/**
+ * Execute a certified BFV add / reduce / mul / fused / mul-plain
+ * sweep on the simulated system with the calibration aggregator
+ * armed, then judge the per-kernel relative-error distributions
+ * against `band`.
+ *
+ * staleScale == 1: honest run — drift outside the band is a FAIL.
+ * staleScale != 1: the negative test — the probed fits are scaled so
+ * predictions are genuinely stale, and the gate MUST trip (reported
+ * FAIL, driving the exit nonzero, which CI asserts); a silent gate is
+ * reported BAD and leaves the exit untouched so CI catches the dead
+ * path.
+ *
+ * Returns false only on an artifact IO/validation error.
+ */
+bool
+calibrateSweep(double band, double staleScale,
+               const std::string &calib_out, bool verbose,
+               Outcome &out)
+{
+    constexpr std::size_t kLimbs = 2;
+    constexpr std::size_t kDegree = 32;
+    constexpr std::size_t kDpus = 2;
+    constexpr unsigned kTasklets = 8;
+
+    {
+        std::ostringstream head;
+        head << "== calibration sweep (band " << band;
+        if (staleScale != 1.0)
+            head << ", injected stale fits x" << staleScale;
+        head << ")\n";
+        out.emit(head.str());
+    }
+
+    obs::Calibration &calib = obs::Calibration::global();
+    calib.setEnabled(true);
+    calib.clear();
+
+    const BfvParams<kLimbs> params =
+        standardParams<kLimbs>().withDegree(kDegree);
+    BfvContext<kLimbs> ctx(params);
+    pim::SystemConfig cfg = pim::paperSystem();
+    cfg.numDpus = kDpus;
+    cfg.verifyBeforeLaunch = true;
+    // Shard the convolver across the same DPU count the cost spec
+    // describes: the model charges each convolution n/numDpus rows
+    // per DPU, so a convolver left on its 1-DPU default would pay the
+    // full n rows and read as ~numDpus-fold drift (the observatory
+    // catches exactly this mismatch when it is unintentional).
+    ctx.setConvolver(std::make_unique<PimConvolver<kLimbs>>(
+        ctx.ring(), cfg, kTasklets, kDpus));
+
+    Rng rng(0x5EEDCA11B);
+    KeyGenerator<kLimbs> keygen(ctx, rng);
+    const PublicKey<kLimbs> pk = keygen.makePublicKey();
+    Encryptor<kLimbs> enc(ctx, pk, rng);
+    IntegerEncoder encoder(params.t, params.n);
+    const RelinKey<kLimbs> rlk = keygen.makeRelinKey();
+
+    PimHeSystem<kLimbs> sys(ctx, cfg, kDpus, kTasklets);
+    if (staleScale != 1.0)
+        sys.injectStaleFits(staleScale);
+
+    std::vector<std::pair<std::string, analysis::HeDag>> sweep;
+    sweep.emplace_back("add-chain-4", addChain(4));
+    sweep.emplace_back("tree-reduce-8", treeReduce(8));
+    sweep.emplace_back("mul-chain-1", mulChain(1));
+    sweep.emplace_back("fused-add-mul", fusedChain());
+    sweep.emplace_back("mul-plain", mulPlainPlan());
+
+    const std::vector<Plaintext> plains = {encoder.encodeScalar(3)};
+    for (const auto &[plan, dag] : sweep) {
+        std::vector<Ciphertext<kLimbs>> ins;
+        for (std::size_t i = 0; i < dag.inputs().size(); ++i)
+            ins.push_back(enc.encrypt(encoder.encodeScalar(i + 1)));
+        (void)sys.runPlan(dag, ins, plains, &rlk);
+        if (verbose)
+            out.emit("     ran " + plan + "\n");
+    }
+
+    const obs::CalibVerdict verdict = calib.aggregate(band);
+    for (const auto &k : verdict.kernels) {
+        std::ostringstream line;
+        line << "     " << k.kernel << " @ " << k.backend << ": "
+             << k.samples << " sample(s), ms rel err p50 "
+             << k.msRelErr.p50 << " / p95 " << k.msRelErr.p95
+             << " / max " << k.msRelErr.max << ", bytes max "
+             << k.bytesRelErrMax
+             << (k.pass ? "  [in band]" : "  [DRIFT]") << "\n";
+        out.emit(line.str());
+    }
+
+    ++out.checked;
+    const bool gate_ok = verdict.records > 0 && verdict.pass;
+    if (staleScale == 1.0) {
+        if (gate_ok) {
+            out.emit("ok   calibration: " +
+                     std::to_string(verdict.records) +
+                     " record(s), every kernel inside the band\n");
+        } else {
+            ++out.failed;
+            out.emit("FAIL calibration: model drift outside band "
+                     "(or zero records)\n");
+        }
+    } else {
+        // Negative test: stale predictions MUST trip the gate.
+        if (verdict.records > 0 && !verdict.pass) {
+            ++out.failed;
+            out.emit("FAIL calibration gate tripped on stale fits "
+                     "(expected)\n");
+        } else {
+            out.emit("BAD  calibration gate silent on stale fits\n");
+        }
+    }
+
+    if (!calib_out.empty()) {
+        const std::string subject =
+            staleScale == 1.0 ? "calibrate-sweep"
+                              : "calibrate-sweep-stale-fit";
+        std::string err;
+        if (!obs::emitArtifact(calib_out, calib.toJson(subject, band),
+                               &obs::validateCalibJson, &err)) {
+            std::cerr << "pim_certify: " << err << "\n";
+            return false;
+        }
+        out.emit("     wrote " + calib_out + "\n");
+    }
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {"verbose", "inject", "out"});
+    CliArgs args(argc, argv, {"verbose", "inject", "out", "calibrate",
+                              "band", "calib-out"});
     const bool verbose = args.getBool("verbose", false);
     const std::string injected = args.getString("inject", "");
     const std::string out_path = args.getString("out", "");
+    const bool calibrate = args.getBool("calibrate", false);
+    const double band =
+        args.getDouble("band", obs::Calibration::kDefaultBand);
+    const std::string calib_out = args.getString("calib-out", "");
 
     Outcome out;
     obs::JsonValue sweeps = obs::JsonValue::makeArray();
@@ -328,6 +492,20 @@ main(int argc, char **argv)
     sweepLevel<4>(model, verbose, out, sweeps, depth_map);
     if (!injected.empty())
         inject(injected, verbose, out);
+    if (calibrate &&
+        !calibrateSweep(band, /*staleScale=*/1.0, calib_out, verbose,
+                        out))
+        return 2;
+    if (injected == "stale-fit" || injected == "all") {
+        // Negative test: same sweep, deliberately stale fits. The
+        // artifact (when requested) gets its own path so it never
+        // clobbers the honest run's report.
+        const std::string stale_out =
+            calib_out.empty() ? "" : calib_out + ".stale.json";
+        if (!calibrateSweep(band, /*staleScale=*/100.0, stale_out,
+                            verbose, out))
+            return 2;
+    }
 
     std::ostringstream tail;
     tail << out.checked << " certifications checked, " << out.failed
@@ -342,11 +520,10 @@ main(int argc, char **argv)
         doc.set("checked", obs::JsonValue(out.checked));
         doc.set("failed", obs::JsonValue(out.failed));
         doc.set("log", obs::JsonValue(out.log.str()));
-        std::ofstream f(out_path);
-        f << doc.dump(2) << "\n";
-        if (!f) {
-            std::cerr << "cannot write report to " << out_path
-                      << "\n";
+        std::string err;
+        if (!obs::emitArtifact(out_path, doc.dump(2) + "\n",
+                               /*validate=*/nullptr, &err)) {
+            std::cerr << "pim_certify: " << err << "\n";
             return 2;
         }
     }

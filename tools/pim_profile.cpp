@@ -30,6 +30,7 @@
 #include "bfv/params.h"
 #include "common/cli.h"
 #include "common/rng.h"
+#include "obs/artifact.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -51,30 +52,14 @@ struct ProfileConfig
     unsigned tasklets = 12;
 };
 
-/** Join an output directory and a file name. */
-std::string
-joinPath(const std::string &dir, const std::string &file)
-{
-    if (dir.empty() || dir == ".")
-        return file;
-    if (dir.back() == '/')
-        return dir + file;
-    return dir + "/" + file;
-}
-
-/** Write + immediately re-validate one artifact; false on failure. */
+/** Emit via the shared write-then-revalidate hook (obs/artifact.h). */
 bool
 emit(const std::string &path, const std::string &content,
-     bool (*validate)(const std::string &, std::string *))
+     obs::ArtifactValidator validate)
 {
     std::string err;
-    if (!obs::writeFile(path, content, &err)) {
-        std::cerr << "pim_profile: write failed: " << err << "\n";
-        return false;
-    }
-    if (!validate(content, &err)) {
-        std::cerr << "pim_profile: " << path
-                  << " failed schema validation: " << err << "\n";
+    if (!obs::emitArtifact(path, content, validate, &err)) {
+        std::cerr << "pim_profile: " << err << "\n";
         return false;
     }
     std::cout << "wrote " << path << " (" << content.size()
@@ -135,17 +120,17 @@ runProfile(const ProfileConfig &pc)
 
     // Artifacts, each re-validated after the write.
     bool ok = true;
-    ok &= emit(joinPath(pc.outDir, "pim_profile_metrics.json"),
+    ok &= emit(obs::joinPath(pc.outDir, "pim_profile_metrics.json"),
                obs::snapshotToJson(snap), obs::validateMetricsJson);
 
     std::ostringstream chrome;
     tracer.writeChromeTrace(chrome);
-    ok &= emit(joinPath(pc.outDir, "pim_profile_trace.json"),
+    ok &= emit(obs::joinPath(pc.outDir, "pim_profile_trace.json"),
                chrome.str(), obs::validateChromeTraceJson);
 
     std::ostringstream jsonl;
     tracer.writeJsonl(jsonl);
-    ok &= emit(joinPath(pc.outDir, "pim_profile_trace.jsonl"),
+    ok &= emit(obs::joinPath(pc.outDir, "pim_profile_trace.jsonl"),
                jsonl.str(), obs::validateTraceJsonl);
 
     if (!ok)
