@@ -6,10 +6,12 @@
 #include "analysis/plan_cost.h"
 
 #include <algorithm>
+#include <deque>
 #include <iomanip>
 #include <sstream>
 
 #include "common/logging.h"
+#include "pim/pipeline.h"
 
 namespace pimhe {
 namespace analysis {
@@ -134,27 +136,108 @@ struct CostCtx
     double overheadMs() const { return spec.launchOverheadUs / 1e3; }
 };
 
+/**
+ * Replays the staged backend's launch charges through the SAME
+ * two-track clock DpuSet drives for its measured pipelineStats(),
+ * with the depth-2 double-buffered schedule the async engine runs:
+ * uploads accumulate until the launch consumes them (exactly like
+ * pendingUploadBytes_) and are charged onto the bus at SUBMIT time,
+ * while a launch's kernel half and its result download are deferred
+ * until its staging slot is reused two launches later (the harvest)
+ * — so launch N+1's upload overlaps launch N's kernel, exactly as in
+ * PimHeSystem's async op stream. The resulting makespan is the
+ * model's forecast of running the staged plan pipelined.
+ */
+struct PipelineReplay
+{
+    /** Submitted launch whose kernel/download await harvest. */
+    struct InFlight
+    {
+        pim::PipelineSpan span; //!< upload half already charged
+        double kernelMs = 0;    //!< kernel + overhead
+        double downloadMs = 0;  //!< result download (0 = none)
+    };
+
+    pim::TwoTrackClock clock;
+    double pendingUploadMs = 0;
+    std::size_t launches = 0;
+    std::deque<InFlight> inFlight; //!< at most 2 (double buffer)
+
+    void upload(double ms) { pendingUploadMs += ms; }
+
+    void
+    kernel(double kernel_plus_overhead_ms)
+    {
+        // Slot reuse: harvest the oldest in-flight launch BEFORE
+        // staging this one — the engine's submission-order merge.
+        if (inFlight.size() == 2)
+            retire();
+        InFlight f;
+        f.span = clock.chargeUpload(pendingUploadMs,
+                                    /*synchronous=*/false, launches);
+        pendingUploadMs = 0;
+        f.kernelMs = kernel_plus_overhead_ms;
+        inFlight.push_back(f);
+        ++launches;
+    }
+
+    void
+    download(double ms)
+    {
+        if (inFlight.empty()) // pre-launch download: no producer
+            clock.chargeDownload(ms, 0.0);
+        else
+            inFlight.back().downloadMs += ms;
+    }
+
+    void
+    retire()
+    {
+        InFlight f = inFlight.front();
+        inFlight.pop_front();
+        clock.chargeKernel(f.span, f.kernelMs);
+        if (f.downloadMs > 0)
+            clock.chargeDownload(f.downloadMs, f.span.kernelEndMs);
+    }
+
+    void
+    finish()
+    {
+        while (!inFlight.empty())
+            retire();
+    }
+};
+
 /** Charge one PIM launch (kernel + overhead) to a backend. */
 void
-chargeLaunch(BackendCost &b, double kernel_ms, const CostCtx &c)
+chargeLaunch(BackendCost &b, double kernel_ms, const CostCtx &c,
+             PipelineReplay *pipe = nullptr)
 {
     b.kernelMs += kernel_ms;
     b.overheadMs += c.overheadMs();
     ++b.launches;
+    if (pipe != nullptr)
+        pipe->kernel(kernel_ms + c.overheadMs());
 }
 
 void
-chargeUpload(BackendCost &b, std::uint64_t bytes, const CostCtx &c)
+chargeUpload(BackendCost &b, std::uint64_t bytes, const CostCtx &c,
+             PipelineReplay *pipe = nullptr)
 {
     b.uploadedBytes += bytes;
     b.transferMs += c.xferMs(bytes, c.spec.hostToDpuGbps);
+    if (pipe != nullptr)
+        pipe->upload(c.xferMs(bytes, c.spec.hostToDpuGbps));
 }
 
 void
-chargeDownload(BackendCost &b, std::uint64_t bytes, const CostCtx &c)
+chargeDownload(BackendCost &b, std::uint64_t bytes, const CostCtx &c,
+               PipelineReplay *pipe = nullptr)
 {
     b.downloadedBytes += bytes;
     b.transferMs += c.xferMs(bytes, c.spec.dpuToHostGbps);
+    if (pipe != nullptr)
+        pipe->download(c.xferMs(bytes, c.spec.dpuToHostGbps));
 }
 
 /** Convolutions one node expands into (0 = not conv-backed). */
@@ -202,6 +285,18 @@ BackendCost::describe() const
 }
 
 std::string
+PipelineForecast::describe() const
+{
+    std::ostringstream os;
+    os << "pipelined: " << std::fixed << std::setprecision(3)
+       << makespanMs << " ms makespan (bus " << busMs << ", dpu "
+       << dpuMs << "; serial " << serialMs << ", "
+       << std::setprecision(2) << speedup() << "x, " << launches
+       << " launch(es))";
+    return os.str();
+}
+
+std::string
 CostReport::summary() const
 {
     std::ostringstream os;
@@ -232,6 +327,9 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
     BackendCost &st = report.pimStaged;
     BackendCost &re = report.pimResident;
     BackendCost &ho = report.host;
+    // Every pim-staged charge is mirrored into the pipeline replay so
+    // the walk also yields the overlap-aware forecast.
+    PipelineReplay pipe;
 
     // pim-resident value locations; host/pim-staged keep everything
     // on the host between launches.
@@ -280,10 +378,11 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
     // or host schoolbook products for the host backend.
     const auto chargeConvs = [&](std::uint64_t count) {
         for (BackendCost *b : {&st, &re}) {
+            PipelineReplay *p = (b == &st) ? &pipe : nullptr;
             for (std::uint64_t i = 0; i < count; ++i) {
-                chargeUpload(*b, c.convUpBytes, c);
-                chargeLaunch(*b, c.convMs(), c);
-                chargeDownload(*b, c.convDownBytes, c);
+                chargeUpload(*b, c.convUpBytes, c, p);
+                chargeLaunch(*b, c.convMs(), c, p);
+                chargeDownload(*b, c.convDownBytes, c, p);
             }
         }
         ho.kernelMs += static_cast<double>(count) * c.hostConvMs();
@@ -320,10 +419,11 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
           case HeOp::Add: {
             // Staged: upload both operands, one elementwise launch,
             // download the sum.
-            chargeUpload(st, 2 * c.ctBytes, c);
+            chargeUpload(st, 2 * c.ctBytes, c, &pipe);
             chargeLaunch(st, c.launchMs(spec.addCycles,
-                                        c.perDpu(c.ctElems)), c);
-            chargeDownload(st, c.ctBytes, c);
+                                        c.perDpu(c.ctElems)), c,
+                         &pipe);
+            chargeDownload(st, c.ctBytes, c, &pipe);
             // Resident: operands stay in MRAM, output device-only.
             checkArena(id, 3, "a, b and out of a binary resident op");
             ensureDevice(node.args[0]);
@@ -383,10 +483,11 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
             // One fused/add launch for (a + b), then the tensor
             // product against c. Staged pays the add round trip the
             // resident path avoids.
-            chargeUpload(st, 2 * c.ctBytes, c);
+            chargeUpload(st, 2 * c.ctBytes, c, &pipe);
             chargeLaunch(st, c.launchMs(spec.addCycles,
-                                        c.perDpu(c.ctElems)), c);
-            chargeDownload(st, c.ctBytes, c);
+                                        c.perDpu(c.ctElems)), c,
+                         &pipe);
+            chargeDownload(st, c.ctBytes, c, &pipe);
             checkArena(id, 3, "a, b and sum of the fused chain");
             ensureDevice(node.args[0]);
             ensureDevice(node.args[1]);
@@ -420,12 +521,12 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
             m = f;
             while (m > 1) {
                 const std::uint64_t half = m / 2;
-                chargeUpload(st, 2 * half * c.ctBytes, c);
+                chargeUpload(st, 2 * half * c.ctBytes, c, &pipe);
                 chargeLaunch(st,
                              c.launchMs(spec.addCycles,
                                         c.perDpu(half * c.ctElems)),
-                             c);
-                chargeDownload(st, half * c.ctBytes, c);
+                             c, &pipe);
+                chargeDownload(st, half * c.ctBytes, c, &pipe);
                 m = half + (m % 2);
             }
             ho.kernelMs += static_cast<double>(f - 1) *
@@ -449,6 +550,13 @@ estimateCost(const HeDag &dag, const CostSpec &spec)
         row.hostMs = row.host.ms;
         report.rows.push_back(row);
     }
+
+    pipe.finish();
+    report.pipelined.busMs = pipe.clock.busBusyMs;
+    report.pipelined.dpuMs = pipe.clock.dpuBusyMs;
+    report.pipelined.makespanMs = pipe.clock.makespanMs();
+    report.pipelined.serialMs = pipe.clock.serialMs;
+    report.pipelined.launches = pipe.launches;
 
     const BackendCost *best = &report.pimStaged;
     for (const BackendCost *b : {&report.pimResident, &report.host})

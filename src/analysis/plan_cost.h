@@ -153,6 +153,36 @@ struct OpCostRow
     OpBackendDelta host; //!< busBytes/launches always 0 on host
 };
 
+/**
+ * Overlap-aware forecast of the pim-staged backend run through the
+ * double-buffered async pipeline (pim/pipeline.h): the same launch
+ * sequence, but with launch N+1's upload overlapping launch N's
+ * kernel on separate bus/DPU tracks. Computed by replaying the staged
+ * walk's per-launch (upload, kernel+overhead, download) charges
+ * through pim::TwoTrackClock — the identical arithmetic DpuSet uses
+ * for its measured pipelineStats(), so predicted and measured
+ * makespans are directly comparable in the calibration observatory.
+ * Host-side evaluator ops (Sub, AddPlain, ...) occupy neither track
+ * and are excluded from both serialMs and makespanMs.
+ */
+struct PipelineForecast
+{
+    double busMs = 0;      //!< bus-track busy time (transfers)
+    double dpuMs = 0;      //!< DPU-track busy time (kernels+overhead)
+    double makespanMs = 0; //!< pipelined end-to-end (max of tracks)
+    double serialMs = 0;   //!< same charges laid end to end
+    std::size_t launches = 0;
+
+    /** Modelled throughput gain of pipelining the staged plan. */
+    double
+    speedup() const
+    {
+        return makespanMs > 0 ? serialMs / makespanMs : 1.0;
+    }
+
+    std::string describe() const;
+};
+
 /** Outcome of costing one DAG against one CostSpec. */
 struct CostReport
 {
@@ -161,6 +191,7 @@ struct CostReport
     BackendCost pimStaged;
     BackendCost pimResident;
     BackendCost host;
+    PipelineForecast pipelined; //!< pim-staged through the pipeline
     std::vector<OpCostRow> rows;
     std::string recommended; //!< cheapest backend (when ok())
 

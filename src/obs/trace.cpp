@@ -267,6 +267,22 @@ Tracer::writeChromeTrace(std::ostream &os) const
     };
     emitMeta(kHostPid, "host-wall");
     emitMeta(kModelPid, "modelled-time");
+    auto emitThreadMeta = [&](int pid, std::uint64_t tid,
+                              const char *name) {
+        JsonValue e = JsonValue::makeObject();
+        e.set("name", JsonValue("thread_name"));
+        e.set("ph", JsonValue("M"));
+        e.set("pid", JsonValue(pid));
+        e.set("tid", JsonValue(static_cast<int>(tid)));
+        JsonValue args = JsonValue::makeObject();
+        args.set("name", JsonValue(name));
+        e.set("args", std::move(args));
+        os << (first ? "" : ",\n") << e.dump();
+        first = false;
+    };
+    emitThreadMeta(kModelPid, 0, "serial-timeline");
+    emitThreadMeta(kModelPid, kPipelineBusTid, "pipeline.bus");
+    emitThreadMeta(kModelPid, kPipelineDpuTid, "pipeline.dpu");
     for (const ChromeEvent &e : events) {
         os << (first ? "" : ",\n") << e.json;
         first = false;

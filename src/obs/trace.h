@@ -85,6 +85,16 @@ class Tracer
     static constexpr int kHostPid = 1;  //!< wall-clock track
     static constexpr int kModelPid = 2; //!< modelled-time track
 
+    /**
+     * Lanes of the modelled-time track carrying the PIPELINED
+     * timeline (pim/pipeline.h): bus transfers on one, kernels on the
+     * other, so transfer/compute overlap across consecutive launches
+     * is visible as side-by-side spans in Perfetto. Lane 0 stays the
+     * serial modelled timeline (launches laid end to end).
+     */
+    static constexpr std::uint64_t kPipelineBusTid = 1;
+    static constexpr std::uint64_t kPipelineDpuTid = 2;
+
     Tracer();
 
     Tracer(const Tracer &) = delete;

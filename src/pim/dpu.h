@@ -17,9 +17,11 @@
 #define PIMHE_PIM_DPU_H
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,13 +77,66 @@ class Wram
 
 /**
  * 64 MB DRAM bank. Only reachable from kernels through DMA transfers;
- * the host reads/writes it directly between launches. Backing storage
- * grows lazily so thousands of mostly-idle DPUs stay cheap to model.
+ * the host reads/writes it directly between launches — or, with the
+ * pipelined launch engine, WHILE a kernel runs against a disjoint
+ * region (double-buffered staging).
+ *
+ * Backing storage is a fixed table of lazily-installed 1 MB chunks so
+ * thousands of mostly-idle DPUs stay cheap to model, and so growth is
+ * safe under that overlap: the old contiguous-vector backing resized
+ * on first touch, which would have raced (pointer invalidation plus
+ * unsynchronised size reads) the moment a host upload overlapped a
+ * kernel's DMA. Here the chunk table never moves; a chunk pointer is
+ * installed at most once under a mutex with a release store and read
+ * with an acquire load, an absent chunk reads as zeros (preserving the
+ * lazy-zero semantics), and concurrent accesses to disjoint byte
+ * ranges touch disjoint memory. Accesses to OVERLAPPING ranges remain
+ * the caller's responsibility — the pipeline engine guarantees
+ * disjointness via double-buffered staging regions, and the plan
+ * verifier proves it statically per launch.
  */
 class Mram
 {
   public:
-    explicit Mram(std::size_t capacity) : capacity_(capacity) {}
+    /** Chunk granularity of the lazily-installed backing store. */
+    static constexpr std::uint64_t kChunkBytes = 1ULL << 20;
+
+    explicit
+    Mram(std::size_t capacity)
+        : capacity_(capacity),
+          numChunks_((capacity + kChunkBytes - 1) / kChunkBytes),
+          chunks_(std::make_unique<ChunkSlot[]>(numChunks_)),
+          growMutex_(std::make_unique<std::mutex>())
+    {}
+
+    /** Deep copy (shadow mode snapshots the bank per launch). */
+    Mram(const Mram &other)
+        : capacity_(other.capacity_), numChunks_(other.numChunks_),
+          chunks_(std::make_unique<ChunkSlot[]>(numChunks_)),
+          growMutex_(std::make_unique<std::mutex>())
+    {
+        for (std::size_t i = 0; i < numChunks_; ++i) {
+            const std::uint8_t *src =
+                other.chunks_[i].ptr.load(std::memory_order_acquire);
+            if (!src)
+                continue;
+            auto *dst = new std::uint8_t[kChunkBytes];
+            std::copy(src, src + kChunkBytes, dst);
+            chunks_[i].ptr.store(dst, std::memory_order_relaxed);
+        }
+    }
+
+    Mram &operator=(const Mram &) = delete;
+    Mram(Mram &&) = default;
+    Mram &operator=(Mram &&) = default;
+
+    ~Mram()
+    {
+        if (!chunks_)
+            return;
+        for (std::size_t i = 0; i < numChunks_; ++i)
+            delete[] chunks_[i].ptr.load(std::memory_order_relaxed);
+    }
 
     std::size_t capacity() const { return capacity_; }
 
@@ -90,9 +145,19 @@ class Mram
     write(std::uint64_t addr, const std::uint8_t *src,
           std::uint64_t bytes)
     {
-        ensure(addr + bytes);
-        std::copy(src, src + bytes, data_.begin() +
-                                        static_cast<std::ptrdiff_t>(addr));
+        PIMHE_ASSERT(addr + bytes <= capacity_,
+                     "MRAM write beyond capacity");
+        while (bytes > 0) {
+            const std::size_t idx =
+                static_cast<std::size_t>(addr / kChunkBytes);
+            const std::uint64_t off = addr % kChunkBytes;
+            const std::uint64_t take =
+                std::min(bytes, kChunkBytes - off);
+            std::copy(src, src + take, chunk(idx) + off);
+            addr += take;
+            src += take;
+            bytes -= take;
+        }
     }
 
     /** Host/DMA copy out of MRAM. */
@@ -100,23 +165,51 @@ class Mram
     read(std::uint64_t addr, std::uint8_t *dst, std::uint64_t bytes) const
     {
         PIMHE_ASSERT(addr + bytes <= capacity_, "MRAM read out of range");
-        for (std::uint64_t i = 0; i < bytes; ++i) {
-            const std::uint64_t a = addr + i;
-            dst[i] = a < data_.size() ? data_[a] : 0;
+        while (bytes > 0) {
+            const std::size_t idx =
+                static_cast<std::size_t>(addr / kChunkBytes);
+            const std::uint64_t off = addr % kChunkBytes;
+            const std::uint64_t take =
+                std::min(bytes, kChunkBytes - off);
+            const std::uint8_t *src =
+                chunks_[idx].ptr.load(std::memory_order_acquire);
+            if (src)
+                std::copy(src + off, src + off + take, dst);
+            else
+                std::fill(dst, dst + take, std::uint8_t{0});
+            addr += take;
+            dst += take;
+            bytes -= take;
         }
     }
 
   private:
-    void
-    ensure(std::uint64_t end)
+    struct ChunkSlot
     {
-        PIMHE_ASSERT(end <= capacity_, "MRAM write beyond capacity");
-        if (end > data_.size())
-            data_.resize(end, 0);
+        std::atomic<std::uint8_t *> ptr{nullptr};
+    };
+
+    /** Get-or-install the chunk backing `idx` (double-checked). */
+    std::uint8_t *
+    chunk(std::size_t idx)
+    {
+        std::uint8_t *p =
+            chunks_[idx].ptr.load(std::memory_order_acquire);
+        if (p)
+            return p;
+        std::lock_guard<std::mutex> lock(*growMutex_);
+        p = chunks_[idx].ptr.load(std::memory_order_relaxed);
+        if (!p) {
+            p = new std::uint8_t[kChunkBytes]();
+            chunks_[idx].ptr.store(p, std::memory_order_release);
+        }
+        return p;
     }
 
     std::size_t capacity_;
-    std::vector<std::uint8_t> data_;
+    std::size_t numChunks_;
+    std::unique_ptr<ChunkSlot[]> chunks_;
+    std::unique_ptr<std::mutex> growMutex_;
 };
 
 /**

@@ -74,6 +74,50 @@ MramAllocator::release(std::uint64_t addr)
     }
 }
 
+std::optional<DoubleBuffer>
+MramAllocator::allocateDouble(std::uint64_t bytes)
+{
+    const auto first = allocate(bytes);
+    if (!first)
+        return std::nullopt;
+    const auto second = allocate(bytes);
+    if (!second) {
+        release(*first);
+        return std::nullopt;
+    }
+    DoubleBuffer buf;
+    buf.slot[0] = *first;
+    buf.slot[1] = *second;
+    buf.bytes = roundUp(bytes, kAlign);
+    buf.turn = 0;
+    return buf;
+}
+
+void
+MramAllocator::releaseDouble(const DoubleBuffer &buf)
+{
+    release(buf.slot[0]);
+    release(buf.slot[1]);
+}
+
+std::string
+MramAllocator::exhaustionReport(std::uint64_t requestBytes) const
+{
+    const std::uint64_t largest = largestFreeBlock();
+    std::string report =
+        "request=" + std::to_string(roundUp(requestBytes, kAlign)) +
+        " bytes, free=" + std::to_string(bytesFree()) + " of " +
+        std::to_string(capacity_) + " bytes in " +
+        std::to_string(free_.size()) + " block(s), largest=" +
+        std::to_string(largest) + " bytes, live regions=" +
+        std::to_string(allocated_.size());
+    if (roundUp(requestBytes, kAlign) <= bytesFree() &&
+        roundUp(requestBytes, kAlign) > largest)
+        report += " (fragmented: enough total free bytes but no "
+                  "contiguous block fits)";
+    return report;
+}
+
 std::uint64_t
 MramAllocator::largestFreeBlock() const
 {

@@ -6,8 +6,11 @@
 #ifndef PIMHE_PIM_SYSTEM_H
 #define PIMHE_PIM_SYSTEM_H
 
+#include <deque>
 #include <memory>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/plan_verify.h"
@@ -18,9 +21,51 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pim/dpu.h"
+#include "pim/pipeline.h"
 
 namespace pimhe {
 namespace pim {
+
+class DpuSet;
+
+/**
+ * Future-like handle to an asynchronous launch (DpuSet::launchAsync).
+ *
+ * Semantics:
+ *  - wait() blocks until the launch (and every earlier submission)
+ *    has been merged, then returns its LaunchStats. Idempotent: a
+ *    second wait() returns the same, already-merged stats.
+ *  - A deferred failure — pre-launch verifier rejection, fail-fast
+ *    checker conflict, shadow divergence — panics inside wait() with
+ *    the same diagnostic the synchronous path would have raised.
+ *  - Dropping a ticket without wait() is allowed: the launch still
+ *    completes and is merged (failures included) at the next drain
+ *    point — any synchronous DpuSet operation, a later ticket's
+ *    wait(), or an explicit drainAsync(). Only destroying the DpuSet
+ *    with tickets never waited on abandons their results.
+ */
+class LaunchTicket
+{
+  public:
+    LaunchTicket() = default;
+
+    /** Block until merged; returns the launch's stats. */
+    const LaunchStats &wait();
+
+    bool valid() const { return set_ != nullptr; }
+
+    /** Global launch index (position in DpuSet::launches()). */
+    std::size_t launchIndex() const { return index_; }
+
+  private:
+    friend class DpuSet;
+    LaunchTicket(DpuSet *set, std::size_t index)
+        : set_(set), index_(index)
+    {}
+
+    DpuSet *set_ = nullptr;
+    std::size_t index_ = 0;
+};
 
 /**
  * A host-managed allocation of DPUs.
@@ -41,6 +86,27 @@ namespace pim {
  * after the join in DPU index order, so every modelled field of
  * LaunchStats is bit-identical at any thread count; only the
  * wall-clock observability fields (hostWallMs, hostThreads) differ.
+ *
+ * Pipelined engine: launchAsync() hands the compute phase to a
+ * single-worker FIFO pipeline (pim/pipeline.h) and returns a
+ * LaunchTicket immediately, so the caller can stage launch N+1's
+ * operands (copyToMramAsync into a disjoint double-buffered region)
+ * while launch N simulates. Determinism is preserved by construction:
+ * every modelled charge — upload consumption, verification, post-join
+ * conflict/shadow scan in DPU index order, observability, the
+ * two-track pipeline clock — runs on the caller thread in submission
+ * order when the launch is merged (ticket wait / any drain point).
+ * The worker only fills the launch's private per-DPU stats slots.
+ * Modelled pipeline time lives in pipelineStats(): transfers
+ * serialise on a bus track, kernels on a DPU track, and the pipelined
+ * makespan is the max of the two track ends; the synchronous
+ * accounting (totalModeledMs and every LaunchStats field) stays
+ * bit-identical to a sync-only run of the same op sequence.
+ *
+ * The asynchronous API is single-owner like the synchronous one: one
+ * thread drives the DpuSet. Synchronous operations (copy*, launch,
+ * stats accessors) drain or require a drained pipeline, so legacy
+ * callers never observe a half-merged state.
  */
 class DpuSet
 {
@@ -72,10 +138,28 @@ class DpuSet
      *  data may reuse it for their own index-sliced parallel work. */
     ThreadPool &hostPool() { return *pool_; }
 
-    /** Host upload into one DPU's MRAM. */
+    /** Host upload into one DPU's MRAM. Drains the async pipeline
+     *  first: a plain copy makes no disjointness promise against
+     *  in-flight kernels. */
     void
     copyToMram(std::size_t dpu, std::uint64_t addr,
                std::span<const std::uint8_t> bytes)
+    {
+        drainAsync();
+        copyToMramAsync(dpu, addr, bytes);
+    }
+
+    /**
+     * Pipelined upload: identical accounting to copyToMram, but does
+     * NOT drain the async pipeline — the caller promises the target
+     * range is disjoint from every in-flight launch's footprint
+     * (the double-buffered staging contract, which the plan verifier
+     * checks per launch). This is what lets launch N+1's staging
+     * overlap launch N's compute.
+     */
+    void
+    copyToMramAsync(std::size_t dpu, std::uint64_t addr,
+                    std::span<const std::uint8_t> bytes)
     {
         dpuAt(dpu).mram().write(addr, bytes.data(), bytes.size());
         pendingUploadBytes_ += bytes.size();
@@ -90,56 +174,51 @@ class DpuSet
      * charged to the most recent launch's dpuToHostMs; downloads
      * issued before any launch (e.g. readback of staged inputs) are
      * accounted explicitly in preLaunchDownloadMs() instead of being
-     * silently dropped.
+     * silently dropped. Drains the async pipeline first.
      */
     void
     copyFromMram(std::size_t dpu, std::uint64_t addr,
                  std::span<std::uint8_t> bytes)
     {
+        drainAsync();
         dpuAt(dpu).mram().read(addr, bytes.data(), bytes.size());
-        const double ms =
-            transferMs(bytes.size(), 1, cfg_.dpuToHostGbps);
-        xfer_.downloads += 1;
-        xfer_.downloadedBytes += bytes.size();
-        if (launches_.empty()) {
-            preLaunchDownloadMs_ += ms;
-            xfer_.preLaunchDownloadMs += ms;
-        } else {
-            launches_.back().dpuToHostMs += ms;
-            xfer_.downloadModeledMs += ms;
-        }
-
-        obs::Registry &reg = obs::Registry::global();
-        if (reg.enabled()) {
-            static obs::Counter d2h_bytes =
-                reg.counter("pim.xfer.d2h.bytes");
-            static obs::Counter d2h_copies =
-                reg.counter("pim.xfer.d2h.copies");
-            d2h_bytes.add(bytes.size());
-            d2h_copies.add(1);
-        }
-        obs::Tracer &tracer = obs::Tracer::global();
-        if (tracer.enabled() && ms > 0) {
-            obs::TraceSpan s;
-            s.pid = obs::Tracer::kModelPid;
-            s.tid = 0;
-            s.name = launches_.empty() ? "pre-launch d2h" : "d2h";
-            s.beginUs = modelCursorUs_;
-            s.endUs = modelCursorUs_ + ms * 1e3;
-            s.numArgs = {
-                {"bytes", static_cast<double>(bytes.size())},
-                {"dpu", static_cast<double>(dpu)}};
-            tracer.recordSpan(std::move(s));
-        }
-        modelCursorUs_ += ms * 1e3;
-        recordBusCounter(tracer);
+        chargeDownload(dpu, bytes.size(),
+                       launches_.empty()
+                           ? -1
+                           : static_cast<std::ptrdiff_t>(
+                                 launches_.size() - 1));
     }
 
-    /** Broadcast the same bytes into every DPU's MRAM. */
+    /**
+     * Pipelined download of a specific launch's results: reads the
+     * range and charges the modelled time to THAT launch (not
+     * launches().back(), which may already be a younger pipelined
+     * launch). The launch must have been merged — wait() on its
+     * ticket first. Does not drain the pipeline, so harvesting launch
+     * N's output can overlap launch N+1's compute; the caller
+     * promises the range is disjoint from in-flight footprints, as
+     * with copyToMramAsync.
+     */
+    void
+    copyFromMramForLaunch(std::size_t dpu, std::uint64_t addr,
+                          std::span<std::uint8_t> bytes,
+                          std::size_t launch_index)
+    {
+        PIMHE_ASSERT(launch_index < launches_.size(),
+                     "copyFromMramForLaunch: launch ", launch_index,
+                     " not merged yet — wait() on its ticket first");
+        dpuAt(dpu).mram().read(addr, bytes.data(), bytes.size());
+        chargeDownload(dpu, bytes.size(),
+                       static_cast<std::ptrdiff_t>(launch_index));
+    }
+
+    /** Broadcast the same bytes into every DPU's MRAM. Drains the
+     *  async pipeline first (see copyToMram). */
     void
     broadcastToMram(std::uint64_t addr,
                     std::span<const std::uint8_t> bytes)
     {
+        drainAsync();
         for (auto &d : dpus_)
             d->mram().write(addr, bytes.data(), bytes.size());
         // Broadcast is a single parallel transfer on the bus.
@@ -198,23 +277,11 @@ class DpuSet
     const LaunchStats &
     launch(unsigned num_tasklets, const CompiledKernel &kernel)
     {
+        drainAsync();
         obs::Tracer &tracer = obs::Tracer::global();
         obs::ScopedSpan host_span(tracer, 0, "DpuSet::launch");
 
-        LaunchStats stats;
-        stats.launchOverheadMs = cfg_.launchOverheadUs / 1e3;
-        stats.hostToDpuMs = transferMs(
-            pendingUploadBytes_,
-            uploadDpusTouched_ == 0 ? 1 : uploadDpusTouched_,
-            cfg_.hostToDpuGbps);
-        xfer_.uploadModeledMs += stats.hostToDpuMs;
-        pendingUploadBytes_ = 0;
-        uploadDpusTouched_ = 0;
-
-        stats.dpus.resize(dpus_.size());
-        stats.hostThreads = pool_->threadCount();
-        stats.execMode =
-            kernel.fast ? execMode_ : ExecMode::Interpret;
+        LaunchStats stats = beginLaunchStats(kernel, /*async=*/false);
         Timer wall;
         pool_->parallelFor(dpus_.size(), [&](std::size_t i) {
             obs::ScopedSpan dpu_span(tracer, i + 1, "dpu.run");
@@ -226,24 +293,98 @@ class DpuSet
         });
         stats.hostWallMs = wall.elapsedMs();
 
-        for (std::size_t i = 0; i < stats.dpus.size(); ++i) {
-            if (!stats.dpus[i].shadowDivergence.empty())
-                panic("shadow-mode divergence: dpu ", i, ", ",
-                      stats.dpus[i].shadowDivergence);
-            if (cfg_.dpu.checker.failFast &&
-                !stats.dpus[i].conflicts.clean())
-                panic(describeLaunchFailure(i, stats.dpus[i].conflicts));
-            stats.maxCycles =
-                std::max(stats.maxCycles, stats.dpus[i].cycles);
-        }
-        stats.kernelMs = stats.maxCycles / (cfg_.dpu.clockMhz * 1e3);
-
+        const LaunchStats &merged = finalizeLaunch(
+            std::move(stats), num_tasklets, /*async=*/false);
         host_span.arg("tasklets", static_cast<double>(num_tasklets));
         host_span.arg("dpus", static_cast<double>(dpus_.size()));
-        host_span.arg("kernel_ms", stats.kernelMs);
-        recordLaunchObservability(stats, num_tasklets);
-        launches_.push_back(std::move(stats));
-        return launches_.back();
+        host_span.arg("kernel_ms", merged.kernelMs);
+        return merged;
+    }
+
+    /**
+     * Non-blocking pipelined launch: consume the staged uploads into
+     * this launch's modelled hostToDpuMs (exactly as launch() would,
+     * at the same program point), enqueue the compute phase on the
+     * pipeline worker, and return a ticket. The caller may then stage
+     * the NEXT launch's operands with copyToMramAsync into a disjoint
+     * double-buffered region while this one simulates — the host
+     * overlap the two-track model charges.
+     *
+     * All failure modes are deferred into the merge (ticket wait or
+     * the next drain point) and panic there with the synchronous
+     * path's diagnostics, in submission order.
+     */
+    LaunchTicket
+    launchAsync(unsigned num_tasklets, const CompiledKernel &kernel)
+    {
+        return submitAsync(num_tasklets, kernel, std::string());
+    }
+
+    /**
+     * Verified pipelined launch: the pre-launch static stack
+     * (budgets, symbolic prover, plan lifetimes) runs NOW, on the
+     * caller thread at submission — the reports in lastVerify() etc.
+     * are exactly the synchronous ones — but a rejection is captured
+     * in the ticket instead of panicking here, and surfaces when the
+     * launch is merged. A rejected launch never simulates a cycle and
+     * charges no kernel time, same as the synchronous path.
+     */
+    LaunchTicket
+    launchAsync(unsigned num_tasklets, const CompiledKernel &kernel,
+                const analysis::KernelFootprint &footprint)
+    {
+        return submitAsync(num_tasklets, kernel,
+                           preLaunchVerifyCaptured(num_tasklets,
+                                                   footprint));
+    }
+
+    /**
+     * Merge every submitted-but-unmerged async launch, in submission
+     * order, blocking on the pipeline worker as needed. Deferred
+     * failures panic here. No-op when nothing is pending.
+     */
+    void
+    drainAsync()
+    {
+        while (!pendingAsync_.empty())
+            mergeNextAsync();
+    }
+
+    /** True while async launches are submitted but not yet merged. */
+    bool asyncInFlight() const { return !pendingAsync_.empty(); }
+
+    /**
+     * Block until launch `launch_index` is merged and return its
+     * stats. Merging always proceeds in submission order, so waiting
+     * on launch k first merges every older pending launch — which is
+     * how out-of-order ticket waits stay deterministic. Idempotent
+     * for already-merged launches.
+     */
+    const LaunchStats &
+    waitLaunch(std::size_t launch_index)
+    {
+        while (launches_.size() <= launch_index) {
+            PIMHE_ASSERT(!pendingAsync_.empty(),
+                         "waitLaunch(", launch_index,
+                         "): no such launch submitted");
+            mergeNextAsync();
+        }
+        return launches_[launch_index];
+    }
+
+    /**
+     * Two-track pipeline accounting: per-launch modelled schedule
+     * spans, bus/DPU occupancy, pipelined makespan vs. the
+     * synchronous-equivalent serial time. Requires a drained
+     * pipeline so the numbers are complete.
+     */
+    const PipelineStats &
+    pipelineStats() const
+    {
+        PIMHE_ASSERT(pendingAsync_.empty(),
+                     "pipelineStats() with async launches in flight — "
+                     "wait on the tickets or drainAsync() first");
+        return pipeStats_;
     }
 
     /**
@@ -271,6 +412,7 @@ class DpuSet
     launch(unsigned num_tasklets, const Kernel &kernel,
            const analysis::KernelFootprint &footprint)
     {
+        drainAsync();
         preLaunchVerify(num_tasklets, footprint);
         return launch(num_tasklets, kernel);
     }
@@ -287,16 +429,34 @@ class DpuSet
     launch(unsigned num_tasklets, const CompiledKernel &kernel,
            const analysis::KernelFootprint &footprint)
     {
+        drainAsync();
         preLaunchVerify(num_tasklets, footprint);
         return launch(num_tasklets, kernel);
     }
 
   private:
-    /** The verifyBeforeLaunch static stack shared by the verified
-     *  launch overloads (see the Kernel overload's contract). */
+    /** Synchronous wrapper: run the static stack, panic on rejection
+     *  immediately (before any simulated cycle). */
     void
     preLaunchVerify(unsigned num_tasklets,
                     const analysis::KernelFootprint &footprint)
+    {
+        const std::string failure =
+            preLaunchVerifyCaptured(num_tasklets, footprint);
+        if (!failure.empty())
+            panic(failure);
+    }
+
+    /**
+     * The verifyBeforeLaunch static stack shared by the verified
+     * launch overloads (see the Kernel overload's contract). Returns
+     * the rejection diagnostic instead of panicking, so the async
+     * path can defer it into the LaunchTicket; empty string means the
+     * launch is admitted.
+     */
+    std::string
+    preLaunchVerifyCaptured(unsigned num_tasklets,
+                            const analysis::KernelFootprint &footprint)
     {
         if (cfg_.verifyBeforeLaunch) {
             const analysis::LaunchVerifier verifier(cfg_.dpu);
@@ -368,11 +528,13 @@ class DpuSet
             }
 
             if (!lastVerify_.ok())
-                panic("pre-launch verification rejected kernel '",
-                      footprint.kernel, "':\n", lastVerify_.summary());
+                return "pre-launch verification rejected kernel '" +
+                       footprint.kernel + "':\n" +
+                       lastVerify_.summary();
         } else {
             plan_.clearDeclaredTargets();
         }
+        return {};
     }
 
   public:
@@ -421,12 +583,18 @@ class DpuSet
     const LaunchStats &
     lastLaunch() const
     {
+        requireDrained("lastLaunch()");
         PIMHE_ASSERT(!launches_.empty(), "no launches recorded");
         return launches_.back();
     }
 
     /** All launches so far, in order. */
-    const std::vector<LaunchStats> &launches() const { return launches_; }
+    const std::vector<LaunchStats> &
+    launches() const
+    {
+        requireDrained("launches()");
+        return launches_;
+    }
 
     /** Modelled time of downloads issued before the first launch. */
     double preLaunchDownloadMs() const { return preLaunchDownloadMs_; }
@@ -435,6 +603,7 @@ class DpuSet
     double
     totalModeledMs() const
     {
+        requireDrained("totalModeledMs()");
         double sum = preLaunchDownloadMs_;
         for (const auto &l : launches_)
             sum += l.totalMs();
@@ -445,6 +614,7 @@ class DpuSet
     double
     totalHostWallMs() const
     {
+        requireDrained("totalHostWallMs()");
         double sum = 0;
         for (const auto &l : launches_)
             sum += l.hostWallMs;
@@ -514,8 +684,13 @@ class DpuSet
         const double h2d_us = stats.hostToDpuMs * 1e3;
         const double kernel_us = stats.kernelMs * 1e3;
         const double overhead_us = stats.launchOverheadMs * 1e3;
+        // One shared end value for the span AND the cursor advance:
+        // summing in two differently-associated expressions can land
+        // one ulp apart, which reorders the next span's begin against
+        // this span's end and breaks the trace's B/E nesting.
+        const double begin = modelCursorUs_;
+        const double end = begin + h2d_us + kernel_us + overhead_us;
         if (tracer.enabled()) {
-            const double begin = modelCursorUs_;
             auto model_span = [&](const char *name, double b, double e) {
                 obs::TraceSpan s;
                 s.pid = obs::Tracer::kModelPid;
@@ -525,9 +700,7 @@ class DpuSet
                 s.endUs = e;
                 return s;
             };
-            obs::TraceSpan launch_span = model_span(
-                "launch", begin,
-                begin + h2d_us + kernel_us + overhead_us);
+            obs::TraceSpan launch_span = model_span("launch", begin, end);
             launch_span.numArgs = {
                 {"tasklets", static_cast<double>(num_tasklets)},
                 {"dpus", static_cast<double>(dpus_.size())},
@@ -541,7 +714,7 @@ class DpuSet
                                              begin + h2d_us +
                                                  kernel_us));
         }
-        modelCursorUs_ += h2d_us + kernel_us + overhead_us;
+        modelCursorUs_ = end;
         recordBusCounter(tracer);
     }
 
@@ -586,11 +759,306 @@ class DpuSet
         return static_cast<double>(bytes) / (gbps * 1e6);
     }
 
+    /** One submitted-but-unmerged async launch. `stats.dpus` is the
+     *  only field the pipeline worker writes; everything else is
+     *  caller-thread state frozen at submission. */
+    struct PendingAsync
+    {
+        LaunchStats stats;
+        unsigned tasklets = 0;
+        std::size_t launchIndex = 0;
+        std::size_t engineSeq = 0;
+        bool hasJob = false;          //!< false for rejected launches
+        std::string verifyFailure;    //!< deferred rejection diagnostic
+    };
+
+    /** Shared launch-stats setup: consume the staged uploads into
+     *  this launch's hostToDpuMs and freeze the modelled metadata.
+     *  Runs on the caller thread at the launch/submit program point —
+     *  the same point for both engines, which is what makes the
+     *  modelled fields bit-identical between them. The upload is also
+     *  charged onto the pipeline's bus track HERE, at submission: in
+     *  an async stream launch N+1's upload lands on the bus while
+     *  launch N's kernel is still in flight — the modelled overlap. */
+    LaunchStats
+    beginLaunchStats(const CompiledKernel &kernel, bool async)
+    {
+        LaunchStats stats;
+        stats.launchOverheadMs = cfg_.launchOverheadUs / 1e3;
+        stats.hostToDpuMs = transferMs(
+            pendingUploadBytes_,
+            uploadDpusTouched_ == 0 ? 1 : uploadDpusTouched_,
+            cfg_.hostToDpuGbps);
+        xfer_.uploadModeledMs += stats.hostToDpuMs;
+        pendingUploadBytes_ = 0;
+        uploadDpusTouched_ = 0;
+        stats.dpus.resize(dpus_.size());
+        stats.hostThreads = pool_->threadCount();
+        stats.execMode =
+            kernel.fast ? execMode_ : ExecMode::Interpret;
+
+        const PipelineSpan span = pipeStats_.clock.chargeUpload(
+            stats.hostToDpuMs, /*synchronous=*/!async,
+            launches_.size() + pendingAsync_.size());
+        obs::Tracer &tracer = obs::Tracer::global();
+        if (tracer.enabled() && span.uploadEndMs > span.uploadBeginMs)
+            tracer.recordSpan(pipelineTraceSpan(
+                "pipe.h2d", obs::Tracer::kPipelineBusTid,
+                span.uploadBeginMs, span.uploadEndMs,
+                span.launchIndex, async));
+        pendingPipeSpans_.push_back(span);
+        return stats;
+    }
+
+    /** Post-join aggregation shared by both engines: conflict/shadow
+     *  scan in DPU index order, cycle maximum, observability and the
+     *  pipeline clock — all on the caller thread. */
+    const LaunchStats &
+    finalizeLaunch(LaunchStats stats, unsigned num_tasklets,
+                   bool async)
+    {
+        for (std::size_t i = 0; i < stats.dpus.size(); ++i) {
+            if (!stats.dpus[i].shadowDivergence.empty())
+                panic("shadow-mode divergence: dpu ", i, ", ",
+                      stats.dpus[i].shadowDivergence);
+            if (cfg_.dpu.checker.failFast &&
+                !stats.dpus[i].conflicts.clean())
+                panic(describeLaunchFailure(i, stats.dpus[i].conflicts));
+            stats.maxCycles =
+                std::max(stats.maxCycles, stats.dpus[i].cycles);
+        }
+        stats.kernelMs = stats.maxCycles / (cfg_.dpu.clockMhz * 1e3);
+
+        recordLaunchObservability(stats, num_tasklets);
+        recordPipelineLaunch(stats, async);
+        launches_.push_back(std::move(stats));
+        return launches_.back();
+    }
+
+    /** Enqueue one async launch (see launchAsync). */
+    LaunchTicket
+    submitAsync(unsigned num_tasklets, const CompiledKernel &kernel,
+                std::string verify_failure)
+    {
+        PendingAsync pending;
+        pending.tasklets = num_tasklets;
+        pending.launchIndex = launches_.size() + pendingAsync_.size();
+        pending.verifyFailure = std::move(verify_failure);
+        pending.stats = beginLaunchStats(kernel, /*async=*/true);
+        pendingAsync_.push_back(std::move(pending));
+        // std::deque never invalidates references on push/pop at the
+        // other end, so the worker's pointer into this record stays
+        // valid until mergeNextAsync() pops it — after waitFor().
+        PendingAsync &rec = pendingAsync_.back();
+
+        if (rec.verifyFailure.empty()) {
+            rec.hasJob = true;
+            rec.engineSeq = pipeline().submit(
+                [this, kernel, num_tasklets, stats = &rec.stats] {
+                    obs::Tracer &tracer = obs::Tracer::global();
+                    obs::ScopedSpan span(tracer, kAsyncWorkerTid,
+                                         "async.compute");
+                    Timer wall;
+                    pool_->parallelFor(
+                        dpus_.size(), [&](std::size_t i) {
+                            obs::ScopedSpan dpu_span(tracer, i + 1,
+                                                     "dpu.run");
+                            stats->dpus[i] = dpus_[i]->run(
+                                num_tasklets, kernel, execMode_,
+                                /*defer_fail_fast=*/true);
+                            dpu_span.arg("dpu",
+                                         static_cast<double>(i));
+                            dpu_span.arg("cycles",
+                                         stats->dpus[i].cycles);
+                        });
+                    stats->hostWallMs = wall.elapsedMs();
+                });
+        }
+        return LaunchTicket(this, rec.launchIndex);
+    }
+
+    /** Merge the oldest pending async launch (submission order). */
+    void
+    mergeNextAsync()
+    {
+        PIMHE_ASSERT(!pendingAsync_.empty(),
+                     "mergeNextAsync with an empty pipeline");
+        PendingAsync &front = pendingAsync_.front();
+        if (!front.verifyFailure.empty())
+            // Deferred pre-launch rejection: surfaces at the first
+            // merge point after submission, with the synchronous
+            // diagnostic. (The process panics; no pop needed.)
+            panic(front.verifyFailure);
+        pipeline().waitFor(front.engineSeq);
+        LaunchStats stats = std::move(front.stats);
+        const unsigned tasklets = front.tasklets;
+        pendingAsync_.pop_front();
+        finalizeLaunch(std::move(stats), tasklets, /*async=*/true);
+    }
+
+    /** Lazily-started pipeline worker. */
+    PipelineEngine &
+    pipeline()
+    {
+        if (!pipe_)
+            pipe_ = std::make_unique<PipelineEngine>();
+        return *pipe_;
+    }
+
+    /** Host-wall trace lane of the pipeline worker thread. */
+    static constexpr std::uint32_t kAsyncWorkerTid = 9000;
+
+    /** Stats accessors refuse to run mid-pipeline: a half-merged
+     *  history would under-report deterministically-charged time. */
+    void
+    requireDrained(const char *what) const
+    {
+        PIMHE_ASSERT(pendingAsync_.empty(), what,
+                     " with async launches in flight — wait on the "
+                     "tickets or drainAsync() first");
+    }
+
+    /**
+     * Charge one download's modelled time: to the owning launch's
+     * dpuToHostMs (or the pre-launch bucket when launch_index < 0),
+     * to the serial model track, and to the pipeline bus track where
+     * it cannot begin before the producing kernel's modelled end.
+     */
+    void
+    chargeDownload(std::size_t dpu, std::uint64_t bytes,
+                   std::ptrdiff_t launch_index)
+    {
+        const double ms = transferMs(bytes, 1, cfg_.dpuToHostGbps);
+        xfer_.downloads += 1;
+        xfer_.downloadedBytes += bytes;
+        if (launch_index < 0) {
+            preLaunchDownloadMs_ += ms;
+            xfer_.preLaunchDownloadMs += ms;
+        } else {
+            launches_[static_cast<std::size_t>(launch_index)]
+                .dpuToHostMs += ms;
+            xfer_.downloadModeledMs += ms;
+        }
+
+        obs::Registry &reg = obs::Registry::global();
+        if (reg.enabled()) {
+            static obs::Counter d2h_bytes =
+                reg.counter("pim.xfer.d2h.bytes");
+            static obs::Counter d2h_copies =
+                reg.counter("pim.xfer.d2h.copies");
+            d2h_bytes.add(bytes);
+            d2h_copies.add(1);
+        }
+        obs::Tracer &tracer = obs::Tracer::global();
+        if (tracer.enabled() && ms > 0) {
+            obs::TraceSpan s;
+            s.pid = obs::Tracer::kModelPid;
+            s.tid = 0;
+            s.name =
+                launch_index < 0 ? "pre-launch d2h" : "d2h";
+            s.beginUs = modelCursorUs_;
+            s.endUs = modelCursorUs_ + ms * 1e3;
+            s.numArgs = {
+                {"bytes", static_cast<double>(bytes)},
+                {"dpu", static_cast<double>(dpu)}};
+            tracer.recordSpan(std::move(s));
+        }
+        modelCursorUs_ += ms * 1e3;
+        recordBusCounter(tracer);
+
+        // Two-track pipeline charge.
+        const double ready =
+            launch_index < 0
+                ? 0.0
+                : pipeStats_
+                      .spans[static_cast<std::size_t>(launch_index)]
+                      .kernelEndMs;
+        const double begin =
+            pipeStats_.clock.chargeDownload(ms, ready);
+        if (launch_index >= 0) {
+            PipelineSpan &span =
+                pipeStats_
+                    .spans[static_cast<std::size_t>(launch_index)];
+            if (span.downloadEndMs <= span.downloadBeginMs)
+                span.downloadBeginMs = begin;
+            span.downloadEndMs = begin + ms;
+        }
+        if (tracer.enabled() && ms > 0) {
+            obs::TraceSpan s;
+            s.pid = obs::Tracer::kModelPid;
+            s.tid = obs::Tracer::kPipelineBusTid;
+            s.name = "pipe.d2h";
+            s.beginUs = begin * 1e3;
+            s.endUs = (begin + ms) * 1e3;
+            s.numArgs = {
+                {"launch",
+                 static_cast<double>(launch_index < 0
+                                         ? -1
+                                         : launch_index)},
+                {"bytes", static_cast<double>(bytes)}};
+            tracer.recordSpan(std::move(s));
+        }
+    }
+
+    /** One span on the pipelined modelled lanes (times in ms). */
+    static obs::TraceSpan
+    pipelineTraceSpan(const char *name, std::uint64_t tid,
+                      double begin_ms, double end_ms,
+                      std::size_t launch_index, bool async)
+    {
+        obs::TraceSpan s;
+        s.pid = obs::Tracer::kModelPid;
+        s.tid = tid;
+        s.name = name;
+        s.beginUs = begin_ms * 1e3;
+        s.endUs = end_ms * 1e3;
+        s.numArgs = {{"launch", static_cast<double>(launch_index)},
+                     {"async", async ? 1.0 : 0.0}};
+        return s;
+    }
+
+    /**
+     * Complete the pipeline schedule of one merging launch: its upload
+     * was charged at submission (beginLaunchStats); the kernel half is
+     * charged now, in submission order, and the finished span is
+     * emitted on the pipelined trace lanes. A synchronous launch
+     * aligned the tracks at its upload, so sync-only histories have
+     * makespan == serial exactly.
+     */
+    void
+    recordPipelineLaunch(const LaunchStats &stats, bool async)
+    {
+        PIMHE_ASSERT(!pendingPipeSpans_.empty(),
+                     "pipeline span FIFO out of sync with merges");
+        PipelineSpan span = pendingPipeSpans_.front();
+        pendingPipeSpans_.pop_front();
+        pipeStats_.clock.chargeKernel(
+            span, stats.kernelMs + stats.launchOverheadMs);
+        if (async)
+            pipeStats_.asyncLaunches += 1;
+
+        obs::Tracer &tracer = obs::Tracer::global();
+        if (tracer.enabled() && span.kernelEndMs > span.kernelBeginMs)
+            tracer.recordSpan(pipelineTraceSpan(
+                "pipe.kernel", obs::Tracer::kPipelineDpuTid,
+                span.kernelBeginMs, span.kernelEndMs,
+                span.launchIndex, async));
+        pipeStats_.spans.push_back(span);
+    }
+
     SystemConfig cfg_;
     ExecMode execMode_;
     std::unique_ptr<ThreadPool> pool_;
     std::vector<std::unique_ptr<Dpu>> dpus_;
     std::vector<LaunchStats> launches_;
+    std::deque<PendingAsync> pendingAsync_;
+    PipelineStats pipeStats_;
+    /** Upload-charged spans awaiting their kernel half (FIFO, one per
+     *  submitted-but-unmerged launch; caller thread only). */
+    std::deque<PipelineSpan> pendingPipeSpans_;
+    // Declared after pendingAsync_ so destruction joins the worker
+    // thread BEFORE the pending records (its jobs' stats slots) die.
+    std::unique_ptr<PipelineEngine> pipe_;
     std::uint64_t pendingUploadBytes_ = 0;
     std::size_t uploadDpusTouched_ = 0;
     double preLaunchDownloadMs_ = 0;
@@ -605,6 +1073,13 @@ class DpuSet
     analysis::PlanReport lastPlan_;
     bool hasPlan_ = false;
 };
+
+inline const LaunchStats &
+LaunchTicket::wait()
+{
+    PIMHE_ASSERT(set_ != nullptr, "wait() on an empty LaunchTicket");
+    return set_->waitLaunch(index_);
+}
 
 } // namespace pim
 } // namespace pimhe

@@ -118,6 +118,198 @@ class PimHeSystem
     }
 
     // ------------------------------------------------------------------
+    // Pipelined asynchronous operations.
+    //
+    // The async ops run the SAME staged computation as their
+    // synchronous twins, but through DpuSet::launchAsync and a
+    // double-buffered staging pair: while launch N simulates on the
+    // pipeline worker, the caller flattens and uploads launch N+1's
+    // operands into the other slot. Every modelled number — each
+    // launch's LaunchStats, the transfer totals, verifier reports —
+    // is bit-identical to the synchronous path at any host thread
+    // count (the engine merges all accounting in submission order on
+    // the caller thread); the pipeline overlap shows up only in
+    // dpuSet().pipelineStats(), whose makespan is the max of the bus
+    // and DPU tracks instead of their sum.
+    // ------------------------------------------------------------------
+
+  private:
+    struct AsyncOpState;
+
+  public:
+    /**
+     * Future-like handle to a pipelined elementwise operation.
+     * get() blocks until the result is harvested and returns it;
+     * single-shot. Dropping a handle without get() is allowed — the
+     * operation still completes (and its transfer time is still
+     * charged, when the engine reclaims the staging slot), the
+     * results are simply discarded.
+     */
+    class AsyncOp
+    {
+      public:
+        AsyncOp() = default;
+
+        bool valid() const { return state_ != nullptr; }
+
+        /** Global launch index of this op's kernel launch. */
+        std::size_t
+        launchIndex() const
+        {
+            PIMHE_ASSERT(state_, "launchIndex() on empty AsyncOp");
+            return state_->ticket.launchIndex();
+        }
+
+        /** Wait, download (once) and take the results. */
+        std::vector<Ciphertext<N>>
+        get()
+        {
+            PIMHE_ASSERT(state_, "get() on an empty AsyncOp");
+            PIMHE_ASSERT(!state_->consumed,
+                         "get() on an already-consumed AsyncOp");
+            if (!state_->harvested)
+                sys_->harvest(*state_);
+            state_->consumed = true;
+            return std::move(state_->results);
+        }
+
+      private:
+        friend PimHeSystem;
+        AsyncOp(PimHeSystem *sys, std::shared_ptr<AsyncOpState> state)
+            : sys_(sys), state_(std::move(state))
+        {}
+
+        PimHeSystem *sys_ = nullptr;
+        std::shared_ptr<AsyncOpState> state_;
+    };
+
+    /** Pipelined homomorphic addition (see addCiphertextVectors). */
+    AsyncOp
+    addAsync(const std::vector<Ciphertext<N>> &a,
+             const std::vector<Ciphertext<N>> &b)
+    {
+        return elementwiseAsync(std::span(a), std::span(b),
+                                /*multiply=*/false);
+    }
+
+    /** Pipelined coefficient-wise product (see mulCoefficientwise). */
+    AsyncOp
+    mulAsync(const std::vector<Ciphertext<N>> &a,
+             const std::vector<Ciphertext<N>> &b)
+    {
+        return elementwiseAsync(std::span(a), std::span(b),
+                                /*multiply=*/true);
+    }
+
+    /**
+     * Pipelined streaming reduction: a device-side accumulator is
+     * folded ct-by-ct with in-place adds while the NEXT operand's
+     * upload overlaps the current add — the classic transfer-hiding
+     * pipeline. One upload per operand, one download at the end.
+     * Exact modular addition makes the left fold bit-identical to
+     * reduceCiphertexts' tree fold at any pipeline depth.
+     */
+    Ciphertext<N>
+    reduceCiphertextsPipelined(const std::vector<Ciphertext<N>> &cts)
+    {
+        PIMHE_ASSERT(!cts.empty(), "empty reduction");
+        obs::ScopedSpan span(obs::Tracer::global(), 0,
+                             "pimhe.pipelined_reduce");
+        span.arg("cts", static_cast<double>(cts.size()));
+        bumpOpCounter("pimhe.ops.pipelined_reduce");
+        if (cts.size() == 1)
+            return cts.front();
+
+        const std::size_t n = ctx_.ring().degree();
+        const std::size_t comps = cts.front().size();
+        for (const auto &ct : cts)
+            PIMHE_ASSERT(ct.size() == comps,
+                         "ragged ciphertext vector in reduction");
+        const std::size_t num_dpus = dpus_.size();
+        const std::size_t total_elems = comps * n;
+        const std::size_t per_dpu =
+            (total_elems + num_dpus - 1) / num_dpus;
+        const std::size_t arr_bytes =
+            (per_dpu * N * 4 + 7) / 8 * 8;
+
+        // Accumulator + double-buffered operand slots, all from the
+        // resident arena (eviction pressure included).
+        const std::uint64_t acc = cache_.allocScratch(arr_bytes);
+        pim::DoubleBuffer slots =
+            cache_.allocScratchDouble(arr_bytes);
+
+        const std::span<const Ciphertext<N>> all(cts);
+        std::vector<std::uint8_t> buf(num_dpus * arr_bytes);
+
+        // Seed the accumulator with ct 0 (no kernel involved).
+        dpus_.hostPool().parallelFor(num_dpus, [&](std::size_t d) {
+            flattenSlice(all.subspan(0, 1), d * per_dpu, per_dpu,
+                         sliceOf(buf, d, arr_bytes));
+        });
+        for (std::size_t d = 0; d < num_dpus; ++d)
+            dpus_.copyToMram(d, acc, sliceOf(buf, d, arr_bytes));
+
+        // Streaming fold: upload ct i into the free slot while the
+        // previous add still runs; a slot is reused only after the
+        // launch that read it completed (ticket two steps back).
+        pim::LaunchTicket slotTicket[2];
+        pim::LaunchTicket last;
+        for (std::size_t i = 1; i < cts.size(); ++i) {
+            const unsigned p = slots.turn & 1u;
+            if (slotTicket[p].valid())
+                slotTicket[p].wait();
+            dpus_.hostPool().parallelFor(
+                num_dpus, [&](std::size_t d) {
+                    flattenSlice(all.subspan(i, 1), d * per_dpu,
+                                 per_dpu, sliceOf(buf, d, arr_bytes));
+                });
+            for (std::size_t d = 0; d < num_dpus; ++d)
+                dpus_.copyToMramAsync(d, slots.front(),
+                                      sliceOf(buf, d, arr_bytes));
+
+            pimhe_kernels::VecKernelParams kp =
+                vecParams(acc, slots.front(), acc, per_dpu);
+            dpus_.plan().declareWriteTarget(
+                ResidentCache<N>::scratchPlanId(acc));
+            slotTicket[p] = dpus_.launchAsync(
+                tasklets_, pimhe_kernels::compiledVecAddModQ(kp),
+                pimhe_kernels::reduceRoundFootprint(
+                    kp, dpus_.config().dpu, tasklets_));
+            last = slotTicket[p];
+            slots.flip();
+        }
+
+        last.wait();
+        for (std::size_t d = 0; d < num_dpus; ++d)
+            dpus_.copyFromMramForLaunch(d, acc,
+                                        sliceOf(buf, d, arr_bytes),
+                                        last.launchIndex());
+        std::vector<Ciphertext<N>> out(1);
+        for (std::size_t c = 0; c < comps; ++c)
+            out.front().comps.emplace_back(n);
+        dpus_.hostPool().parallelFor(num_dpus, [&](std::size_t d) {
+            unflattenSlice(sliceOf(buf, d, arr_bytes), d * per_dpu,
+                           per_dpu, out);
+        });
+        cache_.freeScratchDouble(slots);
+        cache_.freeScratch(acc);
+        return std::move(out.front());
+    }
+
+    /**
+     * Harvest every outstanding pipelined operation, drain the launch
+     * pipeline and release the staging slots. Called automatically
+     * when an op stream changes shape; call it explicitly before
+     * mixing async ops with code that inspects dpuSet() stats.
+     */
+    void
+    finishAsync()
+    {
+        finishElementwiseStager();
+        dpus_.drainAsync();
+    }
+
+    // ------------------------------------------------------------------
     // Resident-ciphertext operations (device-side operand reuse).
     // ------------------------------------------------------------------
 
@@ -791,6 +983,182 @@ class PimHeSystem
         return out;
     }
 
+    // ------------------------------------------------------------------
+    // Pipelined elementwise machinery.
+    // ------------------------------------------------------------------
+
+    /** Shared state behind an AsyncOp handle. */
+    struct AsyncOpState
+    {
+        pim::LaunchTicket ticket;
+        std::uint64_t outAddr = 0; //!< result third of the slot
+        std::size_t arrBytes = 0;  //!< per-DPU region stride
+        std::size_t perDpu = 0;    //!< elements per DPU
+        std::size_t count = 0;     //!< ciphertexts in the result
+        std::size_t comps = 0;     //!< components per ciphertext
+        bool harvested = false;
+        bool consumed = false;
+        std::vector<Ciphertext<N>> results;
+    };
+
+    /**
+     * Double-buffered staging pair for the async elementwise stream.
+     * Each slot holds one launch's A/B/Out thirds; a slot is reused
+     * (two ops later) only after the op that owns it was harvested,
+     * which is what keeps one launch in flight while the next one
+     * stages — the transfer/compute overlap the pipeline models.
+     */
+    struct ElementwiseStager
+    {
+        bool active = false;
+        std::uint64_t slotBytes = 0; //!< bytes per slot (3 thirds)
+        pim::DoubleBuffer buf;
+        std::shared_ptr<AsyncOpState> owner[2];
+    };
+
+    /** (Re)allocate the staging pair for the given slot size. */
+    void
+    ensureStager(std::uint64_t slot_bytes)
+    {
+        if (stager_.active && stager_.slotBytes == slot_bytes)
+            return;
+        finishElementwiseStager();
+        stager_.buf = cache_.allocScratchDouble(slot_bytes);
+        stager_.slotBytes = slot_bytes;
+        stager_.active = true;
+    }
+
+    /** Harvest all outstanding async ops and free the staging pair.
+     *  Harvests in SUBMISSION order (the slot about to be reused
+     *  holds the older op), so launches merge and downloads charge in
+     *  exactly the order an ongoing stream would have used. */
+    void
+    finishElementwiseStager()
+    {
+        if (!stager_.active)
+            return;
+        for (unsigned k = 0; k < 2; ++k) {
+            auto &o = stager_.owner[(stager_.buf.turn + k) & 1u];
+            if (o && !o->harvested)
+                harvest(*o);
+            o.reset();
+        }
+        cache_.freeScratchDouble(stager_.buf);
+        stager_ = ElementwiseStager{};
+    }
+
+    /**
+     * Wait for an async op's launch and download its results. Runs on
+     * the caller thread; downloads charge the producing launch via
+     * copyFromMramForLaunch, so the accounting matches the point the
+     * synchronous path would have charged them.
+     */
+    void
+    harvest(AsyncOpState &st)
+    {
+        st.ticket.wait();
+        obs::ScopedSpan span(obs::Tracer::global(), 0,
+                             "pimhe.collect");
+        const std::size_t num_dpus = dpus_.size();
+        std::vector<Ciphertext<N>> out(st.count);
+        for (auto &ct : out)
+            for (std::size_t cidx = 0; cidx < st.comps; ++cidx)
+                ct.comps.emplace_back(ctx_.ring().degree());
+        std::vector<std::uint8_t> obuf(num_dpus * st.arrBytes);
+        for (std::size_t d = 0; d < num_dpus; ++d)
+            dpus_.copyFromMramForLaunch(d, st.outAddr,
+                                        sliceOf(obuf, d, st.arrBytes),
+                                        st.ticket.launchIndex());
+        dpus_.hostPool().parallelFor(num_dpus, [&](std::size_t d) {
+            unflattenSlice(sliceOf(obuf, d, st.arrBytes),
+                           d * st.perDpu, st.perDpu, out);
+        });
+        st.results = std::move(out);
+        st.harvested = true;
+    }
+
+    /**
+     * Async twin of elementwise(): same shapes, same kernels, same
+     * verifier footprint — but operands stage into the double
+     * buffer's free slot with copyToMramAsync (no pipeline drain) and
+     * the kernel goes through launchAsync. At most two ops are in
+     * flight; submitting a third first harvests the op that owns the
+     * slot being reused.
+     */
+    AsyncOp
+    elementwiseAsync(std::span<const Ciphertext<N>> a,
+                     std::span<const Ciphertext<N>> b, bool multiply)
+    {
+        PIMHE_ASSERT(a.size() == b.size() && !a.empty(),
+                     "operand vectors must be equal-length, non-empty");
+        obs::Tracer &tracer = obs::Tracer::global();
+        obs::ScopedSpan op_span(tracer, 0,
+                                multiply ? "pimhe.vec_mul_async"
+                                         : "pimhe.vec_add_async");
+        op_span.arg("cts", static_cast<double>(a.size()));
+        bumpOpCounter(multiply ? "pimhe.ops.vec_mul_async"
+                               : "pimhe.ops.vec_add_async");
+        const std::size_t n = ctx_.ring().degree();
+        const std::size_t comps = a.front().size();
+        for (std::size_t i = 0; i < a.size(); ++i)
+            PIMHE_ASSERT(a[i].size() == comps && b[i].size() == comps,
+                         "ragged ciphertext vectors");
+
+        const std::size_t total_elems = a.size() * comps * n;
+        const std::size_t num_dpus = dpus_.size();
+        const std::size_t per_dpu =
+            (total_elems + num_dpus - 1) / num_dpus;
+        const std::size_t arr_bytes =
+            (per_dpu * N * 4 + 7) / 8 * 8;
+
+        ensureStager(3 * arr_bytes);
+        const unsigned slot = stager_.buf.turn & 1u;
+        if (stager_.owner[slot] && !stager_.owner[slot]->harvested)
+            harvest(*stager_.owner[slot]);
+        stager_.owner[slot].reset();
+
+        const std::uint64_t scratch = stager_.buf.front();
+        pimhe_kernels::VecKernelParams kp =
+            vecParams(scratch, scratch + arr_bytes,
+                      scratch + 2 * arr_bytes, per_dpu);
+
+        {
+            obs::ScopedSpan stage_span(tracer, 0, "pimhe.stage");
+            std::vector<std::uint8_t> abuf(num_dpus * arr_bytes);
+            std::vector<std::uint8_t> bbuf(num_dpus * arr_bytes);
+            dpus_.hostPool().parallelFor(num_dpus, [&](std::size_t d) {
+                flattenSlice(a, d * per_dpu, per_dpu,
+                             sliceOf(abuf, d, arr_bytes));
+                flattenSlice(b, d * per_dpu, per_dpu,
+                             sliceOf(bbuf, d, arr_bytes));
+            });
+            for (std::size_t d = 0; d < num_dpus; ++d) {
+                dpus_.copyToMramAsync(d, kp.mramA,
+                                      sliceOf(abuf, d, arr_bytes));
+                dpus_.copyToMramAsync(d, kp.mramB,
+                                      sliceOf(bbuf, d, arr_bytes));
+            }
+        }
+
+        dpus_.plan().declareWriteTarget(
+            ResidentCache<N>::scratchPlanId(scratch));
+        auto st = std::make_shared<AsyncOpState>();
+        st->ticket = dpus_.launchAsync(
+            tasklets_,
+            multiply ? pimhe_kernels::compiledVecMulModQ(kp)
+                     : pimhe_kernels::compiledVecAddModQ(kp),
+            pimhe_kernels::vecKernelFootprint(kp, dpus_.config().dpu,
+                                              tasklets_, multiply));
+        st->outAddr = kp.mramOut;
+        st->arrBytes = arr_bytes;
+        st->perDpu = per_dpu;
+        st->count = a.size();
+        st->comps = comps;
+        stager_.owner[slot] = st;
+        stager_.buf.flip();
+        return AsyncOp(this, std::move(st));
+    }
+
     static std::span<std::uint8_t>
     sliceOf(std::vector<std::uint8_t> &buf, std::size_t idx,
             std::size_t bytes)
@@ -848,6 +1216,7 @@ class PimHeSystem
     unsigned tasklets_;
     PseudoMersenne<N> pm_;
     ResidentCache<N> cache_;
+    ElementwiseStager stager_; //!< async elementwise staging pair
     PimCostModel costModel_; //!< fit probes for certifyPlan (cached)
     analysis::NoiseReport noiseCheck_;
     analysis::CostReport costEstimate_;

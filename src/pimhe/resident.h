@@ -328,6 +328,41 @@ class ResidentCache
         return addr;
     }
 
+    /**
+     * Two equal scratch regions for double-buffered pipeline staging,
+     * with the same eviction pressure as any other arena request.
+     * Both slots are registered as scratch and announced to the plan
+     * verifier, so footprints over either slot are checked exactly
+     * like the synchronous staged path's.
+     */
+    pim::DoubleBuffer
+    allocScratchDouble(std::uint64_t bytes)
+    {
+        for (;;) {
+            if (auto buf = alloc_.allocateDouble(bytes)) {
+                for (const std::uint64_t addr : buf->slot) {
+                    scratch_.insert(addr);
+                    dpus_.plan().noteAlloc(scratchPlanId(addr), addr,
+                                           buf->bytes,
+                                           "pipeline staging slot");
+                }
+                return *buf;
+            }
+            if (!evictOne())
+                panic("resident arena exhausted: need 2x ", bytes,
+                      " bytes for double-buffered staging and "
+                      "nothing evictable; ",
+                      alloc_.exhaustionReport(2 * bytes));
+        }
+    }
+
+    void
+    freeScratchDouble(const pim::DoubleBuffer &buf)
+    {
+        freeScratch(buf.slot[0]);
+        freeScratch(buf.slot[1]);
+    }
+
     void
     freeScratch(std::uint64_t addr)
     {
@@ -395,9 +430,8 @@ class ResidentCache
                 return *addr;
             if (!evictOne())
                 panic("resident arena exhausted: need ", bytes,
-                      " bytes, ", alloc_.bytesFree(),
-                      " free and nothing evictable (capacity ",
-                      alloc_.capacity(), ")");
+                      " bytes and nothing evictable; ",
+                      alloc_.exhaustionReport(bytes));
         }
     }
 

@@ -7,8 +7,10 @@
 #   2. the same under AddressSanitizer,
 #   3. the same under UndefinedBehaviorSanitizer,
 #   4. a ThreadSanitizer build running the concurrency-sensitive
-#      suites (labels `stress` and `differential`) with
-#      PIMHE_HOST_THREADS=16 to exercise the host-parallel engine,
+#      suites (labels `stress` and `differential`, which include the
+#      async-pipeline differential tests) with PIMHE_HOST_THREADS=16
+#      to exercise the host-parallel engine and the pipelined launch
+#      worker,
 #   4b. the compiled-kernel fast-path leg: the differential suites
 #      rerun under PIMHE_EXEC_MODE=shadow on the ASan build (every
 #      fast kernel double-checked against the interpreter under
@@ -191,11 +193,31 @@ else
     }
     echo "=== [tsan] build ==="
     cmake --build "${dir}" -j "${JOBS}" \
-        --target test_parallel_exec test_differential test_noise_fuzz
+        --target test_parallel_exec test_differential test_noise_fuzz \
+        test_async_pipeline
+    # The async-pipeline differential suite (label unit_differential)
+    # matches the 'stress|differential' regex, so the pipelined
+    # engine's caller-thread/worker handoff runs under TSan with the
+    # host pool forced wide.
     echo "=== [tsan] ctest -L 'stress|differential' (16 threads) ==="
     PIMHE_HOST_THREADS=16 ctest --test-dir "${dir}" \
         --output-on-failure -j "${JOBS}" -L 'stress|differential'
 fi
+
+# Pipeline observability smoke: the async launch engine must emit a
+# schema-valid Chrome trace whose bus lane overlaps the kernel lane
+# (the tool exits nonzero when the overlap or the spans are missing).
+run_pipeline_smoke() {
+    local dir=$1
+    echo "=== [${dir}] pim_profile --pipeline smoke ==="
+    local out="${dir}/pipeline-smoke"
+    mkdir -p "${out}"
+    "${dir}/tools-build/pim_profile" --pipeline --smoke \
+        --out "${out}" > /dev/null
+    test -s "${out}/pim_profile_pipeline_trace.json"
+    echo "pipeline trace contains overlapping transfer/kernel spans"
+}
+run_pipeline_smoke "build-check-plain"
 
 if command -v clang-format > /dev/null 2>&1; then
     echo "=== clang-format (src/pim) ==="

@@ -36,6 +36,7 @@
  */
 
 #include <cstdint>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -415,6 +416,57 @@ calibrateSweep(double band, double staleScale,
         (void)sys.runPlan(dag, ins, plains, &rlk);
         if (verbose)
             out.emit("     ran " + plan + "\n");
+    }
+
+    // Pipelined stream leg: the planner's overlap-aware forecast
+    // (CostReport::pipelined, the staged plan replayed through the
+    // two-track clock) against the MEASURED makespan of an actual
+    // async add stream on a fresh system. Both sides use the same
+    // schedule arithmetic; what this calibrates is the model's
+    // per-launch inputs (probed cycle fits, transfer rates), which
+    // stale fits must visibly break.
+    {
+        constexpr std::size_t kStreamOps = 8;
+        PimHeSystem<kLimbs> psys(ctx, cfg, kDpus, kTasklets);
+        if (staleScale != 1.0)
+            psys.injectStaleFits(staleScale);
+        if (!psys.certifyPlan(addChain(kStreamOps),
+                              "pipeline-stream")) {
+            ++out.checked;
+            ++out.failed;
+            out.emit("FAIL pipeline stream plan rejected\n");
+        } else {
+            const analysis::PipelineForecast fc =
+                psys.lastCostEstimate().pipelined;
+            std::vector<Ciphertext<kLimbs>> lhs, rhs;
+            lhs.push_back(enc.encrypt(encoder.encodeScalar(1)));
+            rhs.push_back(enc.encrypt(encoder.encodeScalar(2)));
+            for (std::size_t i = 0; i < kStreamOps; ++i)
+                (void)psys.addAsync(lhs, rhs);
+            psys.finishAsync();
+            const pim::PipelineStats &ps =
+                psys.dpuSet().pipelineStats();
+            obs::AttributionRecord rec;
+            rec.kernel = "pipeline-stream";
+            rec.backend = "pim-pipelined";
+            rec.subject = "add-stream-8";
+            rec.predictedMs = fc.makespanMs;
+            rec.measuredMs = ps.makespanMs();
+            rec.predictedLaunches =
+                static_cast<double>(fc.launches);
+            rec.measuredLaunches =
+                static_cast<double>(ps.spans.size());
+            calib.record(std::move(rec));
+            if (verbose) {
+                std::ostringstream line;
+                line << "     ran pipeline-stream (measured "
+                     << std::fixed << std::setprecision(2)
+                     << ps.speedup() << "x overlap, "
+                     << ps.overlappingPairs()
+                     << " overlapping pair(s))\n";
+                out.emit(line.str());
+            }
+        }
     }
 
     const obs::CalibVerdict verdict = calib.aggregate(band);

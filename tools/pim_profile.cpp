@@ -142,6 +142,92 @@ runProfile(const ProfileConfig &pc)
     return 0;
 }
 
+/**
+ * Pipeline smoke: run an async op stream with the tracer armed, emit
+ * the trace artifacts, and SELF-VALIDATE the overlap — the modelled
+ * schedule must contain transfer spans overlapping other launches'
+ * kernel spans (the quantity the pipeline.bus / pipeline.dpu Perfetto
+ * lanes visualise), and both lane span names must have landed in the
+ * emitted chrome trace. Exit nonzero when either is missing.
+ */
+int
+runPipelineProfile(const ProfileConfig &pc)
+{
+    obs::Registry &reg = obs::Registry::global();
+    obs::Tracer &tracer = obs::Tracer::global();
+    reg.setEnabled(true);
+    tracer.setEnabled(true);
+    reg.reset();
+    tracer.clear();
+
+    const BfvParams<kLimbs> params =
+        standardParams<kLimbs>().withDegree(pc.degree);
+    const BfvContext<kLimbs> ctx(params);
+    Rng rng(0xC0FFEE5EED);
+    KeyGenerator<kLimbs> keygen(ctx, rng);
+    const PublicKey<kLimbs> pk = keygen.makePublicKey();
+    Encryptor<kLimbs> enc(ctx, pk, rng);
+    IntegerEncoder encoder(params.t, params.n);
+
+    pim::SystemConfig cfg = pim::paperSystem();
+    cfg.numDpus = pc.dpus;
+    cfg.verifyBeforeLaunch = true;
+    PimHeSystem<kLimbs> pimsys(ctx, cfg, pc.dpus, pc.tasklets);
+
+    std::cout << "profiling async pipeline: " << pc.cts
+              << " streamed adds, degree " << pc.degree << ", "
+              << pc.dpus << " DPUs, " << pc.tasklets
+              << " tasklets\n\n";
+
+    std::vector<PimHeSystem<kLimbs>::AsyncOp> ops;
+    for (std::size_t i = 0; i < pc.cts; ++i) {
+        const std::vector<Ciphertext<kLimbs>> a{
+            enc.encrypt(encoder.encodeScalar(i + 1))};
+        const std::vector<Ciphertext<kLimbs>> b{
+            enc.encrypt(encoder.encodeScalar(2 * i + 1))};
+        ops.push_back(pimsys.addAsync(a, b));
+    }
+    for (auto &op : ops)
+        (void)op.get();
+    pimsys.finishAsync();
+
+    const pim::PipelineStats &ps = pimsys.dpuSet().pipelineStats();
+    std::cout << "pipelined makespan " << ps.makespanMs()
+              << " ms vs serial " << ps.serialMs() << " ms ("
+              << ps.speedup() << "x, " << ps.overlappingPairs()
+              << " overlapping transfer/kernel span pair(s))\n\n";
+
+    std::ostringstream chrome;
+    tracer.writeChromeTrace(chrome);
+    const std::string trace = chrome.str();
+    bool ok = emit(
+        obs::joinPath(pc.outDir, "pim_profile_pipeline_trace.json"),
+        trace, obs::validateChromeTraceJson);
+
+    // The smoke's contract: the pipelined schedule overlaps, and the
+    // overlapping spans are in the artifact (pipeline.bus lane spans
+    // "pipe.h2d"/"pipe.d2h", pipeline.dpu lane spans "pipe.kernel").
+    if (ps.overlappingPairs() == 0) {
+        std::cerr << "pim_profile: pipelined schedule has no "
+                     "overlapping transfer/kernel span pairs\n";
+        ok = false;
+    }
+    for (const char *needle :
+         {"pipe.h2d", "pipe.kernel", "pipeline.bus", "pipeline.dpu"})
+        if (trace.find(needle) == std::string::npos) {
+            std::cerr << "pim_profile: trace artifact is missing '"
+                      << needle << "' spans\n";
+            ok = false;
+        }
+    if (!ok)
+        return 1;
+    std::cout << "pim_profile: pipeline trace valid — "
+              << ps.overlappingPairs()
+              << " overlapping span pair(s) across "
+              << ps.spans.size() << " launches\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -149,15 +235,18 @@ main(int argc, char **argv)
 {
     CliArgs args(argc, argv,
                  {"op", "cts", "degree", "dpus", "tasklets", "out",
-                  "smoke", "help"});
+                  "smoke", "pipeline", "help"});
     if (args.getBool("help", false)) {
         std::cout
             << "usage: pim_profile [--op add|mul|both] [--cts N]\n"
             << "                   [--degree N] [--dpus N]\n"
             << "                   [--tasklets N] [--out DIR]\n"
-            << "                   [--smoke]\n"
+            << "                   [--smoke] [--pipeline]\n"
             << "Profiles BFV vector ops on the simulated PIM system\n"
-            << "and emits metrics + Chrome-trace artifacts.\n";
+            << "and emits metrics + Chrome-trace artifacts.\n"
+            << "--pipeline streams async adds through the pipelined\n"
+            << "launch engine and fails unless the emitted trace\n"
+            << "contains overlapping transfer/kernel spans.\n";
         return 0;
     }
 
@@ -184,5 +273,7 @@ main(int argc, char **argv)
         std::cerr << "pim_profile: --op must be add, mul or both\n";
         return 2;
     }
+    if (args.getBool("pipeline", false))
+        return runPipelineProfile(pc);
     return runProfile(pc);
 }
